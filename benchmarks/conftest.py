@@ -1,0 +1,21 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one paper artifact (table or figure) through
+its experiment driver, so runs are heavyweight: one round, one iteration.
+Shape assertions live next to the timing so a regression in *behaviour*
+fails the bench even when the timing is fine.
+"""
+
+import pytest
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Run a callable exactly once under the benchmark clock."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

@@ -1,0 +1,24 @@
+"""Benches E18-E20: covert channel, in-place baseline, VA->PA leak."""
+
+from repro.experiments.sec5_extensions import (
+    run_address_leak,
+    run_covert_channel,
+    run_stl_inplace,
+)
+
+
+def test_bench_covert_channel(once):
+    result = once(run_covert_channel, bits=48)
+    assert result.metrics["error_rate"] == 0.0
+    assert result.metrics["bits_per_second"] > 0
+
+
+def test_bench_stl_inplace_vs_outofplace(once):
+    result = once(run_stl_inplace, secret_bytes=4)
+    assert result.metrics["inplace_invocations_per_byte"] > 1.5
+    assert result.metrics["outofplace_accuracy"] >= 0.75
+
+
+def test_bench_address_leak(once):
+    result = once(run_address_leak, pages=4)
+    assert result.metrics["pairs_recovered"] == result.metrics["pairs_total"]

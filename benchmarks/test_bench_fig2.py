@@ -1,0 +1,9 @@
+"""Bench E1 — Fig 2: execution-type timing levels."""
+
+from repro.experiments import fig2_exec_types
+
+
+def test_bench_fig2(once):
+    result = once(fig2_exec_types.run)
+    assert result.metrics["rollback_slower_than_everything"] == "True"
+    assert result.metrics["type_agreement_with_model"] >= 0.99

@@ -1,0 +1,10 @@
+"""Bench E6 — Fig 5: eviction curves (PSFP abrupt at 12; SSBP gradual)."""
+
+from repro.experiments import fig5_eviction
+
+
+def test_bench_fig5(once):
+    result = once(fig5_eviction.run, psfp_trials=5, ssbp_trials=30)
+    assert result.metrics["psfp_threshold"] == 12
+    assert result.metrics["ssbp_rate_at_16"] > 0.45
+    assert result.metrics["ssbp_rate_at_32"] > 0.78

@@ -1,0 +1,13 @@
+"""Bench E8 — Fig 7: collision-search statistics."""
+
+from repro.experiments import fig7_collisions
+
+
+def test_bench_fig7(once):
+    result = once(fig7_collisions.run, trials=8)
+    assert 500 < result.metrics["ssbp_mean_attempts"] <= 4096
+    assert result.metrics["psfp_equal_distance_rate"] > 0.9
+    assert (
+        result.metrics["psfp_unequal_distance_rate"]
+        < result.metrics["psfp_equal_distance_rate"]
+    )

@@ -1,0 +1,10 @@
+"""Bench E14 — Fig 11: CNN fingerprinting via SSBP (SVM accuracy)."""
+
+from repro.experiments import fig11_fingerprint
+
+
+def test_bench_fig11(once):
+    result = once(fig11_fingerprint.run, samples_per_model=3, rounds=5)
+    # Paper: > 95.5% over 6 models; the reduced dataset still separates.
+    assert result.metrics["svm_accuracy"] >= 0.75
+    assert result.metrics["models"] == 6

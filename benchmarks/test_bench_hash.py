@@ -1,0 +1,9 @@
+"""Bench E4 — Fig 4: hash-function recovery from colliding pairs."""
+
+from repro.experiments import fig4_hash
+
+
+def test_bench_fig4(once):
+    result = once(fig4_hash.run, count=128)
+    assert result.metrics["stride"] == 12
+    assert result.metrics["profile_consistency"] == 1.0

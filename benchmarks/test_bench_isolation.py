@@ -1,0 +1,8 @@
+"""Bench E7 — Section IV-A: the isolation matrix."""
+
+from repro.experiments import sec4_isolation
+
+
+def test_bench_isolation(once):
+    result = once(sec4_isolation.run)
+    assert all(row[-1] for row in result.rows)

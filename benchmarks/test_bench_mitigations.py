@@ -1,0 +1,21 @@
+"""Bench E17 — Section VI: mitigation spot-checks.
+
+The full matrix (five mitigations x two attacks) is the
+``sec6-mitigations`` experiment; the bench spot-checks the two findings
+the paper emphasizes — SSBD stops the attacks, PSFD does not.
+"""
+
+from repro.cpu.machine import Machine
+from repro.experiments.sec6_mitigations import ctl_leak_works, stl_leak_works
+
+
+def test_bench_ssbd_stops_spectre_stl(once):
+    machine = Machine(seed=616)
+    machine.core.set_ssbd(True)
+    assert once(stl_leak_works, machine, slide_pages=4) is False
+
+
+def test_bench_psfd_does_not_stop_spectre_ctl(once):
+    machine = Machine(seed=617)
+    machine.core.set_psfd(True)
+    assert once(ctl_leak_works, machine) is True

@@ -1,0 +1,8 @@
+"""Bench E3 — Section III-C.1: IPA-keyed selection."""
+
+from repro.experiments import sec3_selection
+
+
+def test_bench_selection(once):
+    result = once(sec3_selection.run)
+    assert result.metrics["conclusion_ipa_selected"] == "True"

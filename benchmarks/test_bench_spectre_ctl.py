@@ -1,0 +1,9 @@
+"""Bench E12 — Section V-C.1: the cross-process Spectre-CTL campaign."""
+
+from repro.experiments import attack_evals
+
+
+def test_bench_spectre_ctl(once):
+    result = once(attack_evals.run_ctl, secret_bytes=6)
+    assert result.metrics["accuracy"] >= 0.83        # paper: 99.97%
+    assert result.metrics["bytes_per_second"] > 0

@@ -1,0 +1,9 @@
+"""Bench E11 — Section V-B: the out-of-place Spectre-STL campaign."""
+
+from repro.experiments import attack_evals
+
+
+def test_bench_spectre_stl(once):
+    result = once(attack_evals.run_stl, secret_bytes=24)
+    assert result.metrics["accuracy"] >= 0.95        # paper: 99.95%
+    assert result.metrics["bytes_per_second"] > 0

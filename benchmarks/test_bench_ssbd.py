@@ -1,0 +1,9 @@
+"""Bench E15 — Fig 12: SSBD overhead sweep."""
+
+from repro.experiments import fig12_ssbd_overhead
+
+
+def test_bench_fig12(once):
+    result = once(fig12_ssbd_overhead.run, operations=300, repetitions=2)
+    over_20 = result.metrics["benchmarks_over_20pct"]
+    assert "perlbench" in over_20 and "exchange2" in over_20

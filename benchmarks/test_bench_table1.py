@@ -1,0 +1,8 @@
+"""Bench E2 — TABLE I: state-machine validation (> 99.8% agreement)."""
+
+from repro.experiments import table1_state_machine
+
+
+def test_bench_table1(once):
+    result = once(table1_state_machine.run, sequences=25, length=40)
+    assert result.metrics["agreement"] > 0.998

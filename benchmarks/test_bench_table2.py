@@ -1,0 +1,8 @@
+"""Bench E5 — TABLE II: counter organization probes."""
+
+from repro.experiments import table2_counters
+
+
+def test_bench_table2(once):
+    result = once(table2_counters.run)
+    assert all(row[-1] for row in result.rows)

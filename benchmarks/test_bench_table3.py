@@ -1,0 +1,9 @@
+"""Bench E21 — TABLE III: attack validation on all four platforms."""
+
+from repro.experiments import table3_platforms
+
+
+def test_bench_table3(once):
+    result = once(table3_platforms.run)
+    assert result.metrics["platforms"] == 4
+    assert all(row[-1] == "ok" for row in result.rows)

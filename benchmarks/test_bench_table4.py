@@ -1,0 +1,8 @@
+"""Bench E16 — TABLE IV: vendor comparison (collision-cost contrast)."""
+
+from repro.experiments import table4_comparison
+
+
+def test_bench_table4(once):
+    result = once(table4_comparison.run, collision_trials=3)
+    assert result.metrics["amd_mean_collision_attempts"] > 100

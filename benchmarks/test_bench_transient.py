@@ -1,0 +1,9 @@
+"""Bench E9/E10 — Figs 8-9: transient windows and surviving updates."""
+
+from repro.experiments import sec4_transient
+
+
+def test_bench_transient(once):
+    result = once(sec4_transient.run)
+    assert result.metrics["vulnerability_3_confirmed"] == "True"
+    assert result.metrics["vulnerability_4_confirmed"] == "True"

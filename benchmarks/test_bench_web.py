@@ -1,0 +1,10 @@
+"""Bench E13 — Section V-C.2: the browser-model Spectre-CTL campaign."""
+
+from repro.experiments import attack_evals
+
+
+def test_bench_spectre_ctl_web(once):
+    result = once(attack_evals.run_web, secret_bytes=6)
+    # Paper: 81.1% — degraded but substantial.
+    assert 0.3 <= result.metrics["accuracy"] <= 1.0
+    assert result.metrics["bytes_per_second"] > 0

@@ -1,0 +1,24 @@
+#!/usr/bin/env python3
+"""Section VI in action: what stops the attacks, and what does it cost?
+
+1. The SSBD overhead sweep over ten SPEC2017-like workloads (Fig 12).
+2. The mitigation matrix: attack viability under SSBD, PSFD,
+   flush-SSBP-on-switch, and randomized (re-keyed) selection.
+
+Run:  python examples/evaluate_mitigations.py
+"""
+
+from repro.experiments import fig12_ssbd_overhead, sec6_mitigations
+
+
+def main() -> None:
+    print(fig12_ssbd_overhead.run().render())
+    print()
+    print("running the mitigation matrix (attack campaigns under each")
+    print("defense; a couple of minutes)...")
+    print()
+    print(sec6_mitigations.run().render())
+
+
+if __name__ == "__main__":
+    main()

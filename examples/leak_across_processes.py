@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Spectre-CTL end to end: leak a victim-private secret across processes.
+
+Reproduces the paper's headline attack (Section V-C) on the simulated
+machine: the attacker process shares only an *input buffer* with the
+victim, finds SSBP collisions with the victim gadget's loads by code
+sliding, opens transient windows by delaying the victim's store, and
+reads the secret back through the SSBP covert channel — no Flush+Reload,
+no shared secret-dependent cache lines.
+
+Run:  python examples/leak_across_processes.py
+"""
+
+import time
+
+from repro.attacks.spectre_ctl import SpectreCTL
+from repro.osm.domains import SecurityDomain
+
+SECRET = b"SEV keys :)"
+
+
+def main() -> None:
+    print("setting up victim (user process) and attacker...")
+    attack = SpectreCTL(victim_domain=SecurityDomain.USER)
+    print(f"  victim pid {attack.victim.pid} holds the secret at "
+          f"{attack.secret_va:#x} (no attacker mapping)")
+
+    print("phase 1: code-sliding collision search (unprivileged)...")
+    started = time.time()
+    load1, load3 = attack.find_collisions()
+    print(f"  gadget load 1 collided after {load1.attempts} attempts")
+    print(f"  gadget load 3 collided after {load3.attempts} attempts "
+          f"({time.time() - started:.1f}s)")
+
+    print(f"phase 2+3: leaking {len(SECRET)} bytes, 256 guesses each...")
+    started = time.time()
+    report = attack.leak(SECRET)
+    elapsed = time.time() - started
+    print(f"  recovered: {report.recovered!r}")
+    print(f"  accuracy:  {report.accuracy:.2%}  (paper: 99.97%)")
+    print(f"  bandwidth: {report.bytes_per_second:,.0f} B/s of simulated "
+          f"time ({elapsed:.1f}s wall)")
+    assert report.recovered == SECRET, "the leak should be exact"
+
+    print()
+    print("same attack against a KERNEL victim (Vulnerability 1: SSBP is")
+    print("shared across security domains)...")
+    kernel_attack = SpectreCTL(victim_domain=SecurityDomain.KERNEL)
+    kernel_attack.find_collisions()
+    kernel_report = kernel_attack.leak(b"root")
+    print(f"  recovered from kernel thread: {kernel_report.recovered!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""repro — a simulation-backed reproduction of
+"Uncovering and Exploiting AMD Speculative Memory Access Predictors for
+Fun and Profit" (HPCA 2024).
+
+The package models the AMD Zen 3 speculative memory-access machinery the
+paper reverse engineers (PSFP and SSBP predictors, TABLE I state machine,
+IPA-selection hash), a small out-of-order core with transient execution,
+a Linux-like OS layer, and the paper's attacks (out-of-place Spectre-STL,
+Spectre-CTL, SSBP fingerprinting) plus the mitigations it evaluates.
+
+Quickstart::
+
+    from repro import PredictorUnit, run_sequence, CounterState
+    from repro.revng.sequences import parse, to_bools, format_types
+
+    types, state = run_sequence(CounterState(), to_bools("7n, a, 7n"))
+    print(format_types(types))   # -> "7H, G, 4E, 3H"
+
+See README.md for the architecture overview and DESIGN.md for the
+simulation-vs-silicon substitution map.
+"""
+
+from repro.core import (
+    CounterState,
+    CpuModel,
+    ExecType,
+    Prediction,
+    PredictorUnit,
+    Psfp,
+    SpecCtrl,
+    Ssbp,
+    StateName,
+    ZEN3_MODELS,
+    default_model,
+    get_model,
+    ipa_hash,
+    predict,
+    run_sequence,
+    transition,
+)
+from repro.cpu.machine import Machine
+from repro.errors import (
+    AttackError,
+    CollisionNotFound,
+    ConfigError,
+    InvalidInstruction,
+    ProtectionFault,
+    ReproError,
+    SegmentationFault,
+    SimulationLimitExceeded,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttackError",
+    "CollisionNotFound",
+    "ConfigError",
+    "CounterState",
+    "CpuModel",
+    "ExecType",
+    "InvalidInstruction",
+    "Machine",
+    "Prediction",
+    "PredictorUnit",
+    "ProtectionFault",
+    "Psfp",
+    "ReproError",
+    "SegmentationFault",
+    "SimulationLimitExceeded",
+    "SpecCtrl",
+    "Ssbp",
+    "StateName",
+    "ZEN3_MODELS",
+    "__version__",
+    "default_model",
+    "get_model",
+    "ipa_hash",
+    "predict",
+    "run_sequence",
+    "transition",
+]

@@ -1,0 +1,127 @@
+"""A linear multi-class SVM (one-vs-rest, hinge loss, NumPy).
+
+The paper classifies CNN fingerprint vectors with sklearn's SVM; this is
+the offline-friendly equivalent: an L2-regularized linear SVM trained by
+averaged subgradient descent, wrapped one-vs-rest for multi-class.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["LinearSvm", "OneVsRestSvm", "train_test_split"]
+
+
+class LinearSvm:
+    """Binary linear SVM: hinge loss + L2, averaged subgradient descent."""
+
+    def __init__(
+        self,
+        c: float = 10.0,
+        epochs: int = 200,
+        learning_rate: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        self.c = c
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.seed = seed
+        self.weights: np.ndarray | None = None
+        self.bias = 0.0
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LinearSvm":
+        """``labels`` must be +1/-1.
+
+        Samples are weighted inversely to their class frequency
+        ("balanced"), which matters in the one-vs-rest setting where the
+        positive class is a small minority.
+        """
+        samples, dims = features.shape
+        if set(np.unique(labels)) - {-1, 1}:
+            raise ReproError("binary SVM labels must be +1/-1")
+        positives = max(1, int(np.sum(labels == 1)))
+        negatives = max(1, int(np.sum(labels == -1)))
+        weight_of = {
+            1: samples / (2.0 * positives),
+            -1: samples / (2.0 * negatives),
+        }
+        rng = np.random.default_rng(self.seed)
+        weights = np.zeros(dims)
+        bias = 0.0
+        averaged_w = np.zeros(dims)
+        averaged_b = 0.0
+        for epoch in range(self.epochs):
+            rate = self.learning_rate / (1 + 0.1 * epoch)
+            for index in rng.permutation(samples):
+                label = labels[index]
+                sample_weight = weight_of[int(label)]
+                margin = label * (features[index] @ weights + bias)
+                grad_w = weights / (self.c * samples)
+                if margin < 1:
+                    grad_w = grad_w - sample_weight * label * features[index]
+                    bias += rate * sample_weight * label
+                weights = weights - rate * grad_w
+            averaged_w += weights
+            averaged_b += bias
+        self.weights = averaged_w / self.epochs
+        self.bias = averaged_b / self.epochs
+        return self
+
+    def decision(self, features: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise ReproError("SVM is not fitted")
+        return features @ self.weights + self.bias
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return np.where(self.decision(features) >= 0, 1, -1)
+
+
+class OneVsRestSvm:
+    """Multi-class wrapper: one binary SVM per class, argmax decision."""
+
+    def __init__(self, **svm_kwargs) -> None:
+        self.svm_kwargs = svm_kwargs
+        self.classes_: list = []
+        self._machines: list[LinearSvm] = []
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "OneVsRestSvm":
+        self.classes_ = sorted(set(labels.tolist()))
+        if len(self.classes_) < 2:
+            raise ReproError("need at least two classes")
+        self._machines = []
+        for cls in self.classes_:
+            binary = np.where(labels == cls, 1, -1)
+            self._machines.append(
+                LinearSvm(**self.svm_kwargs).fit(features, binary)
+            )
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if not self._machines:
+            raise ReproError("SVM is not fitted")
+        scores = np.stack(
+            [machine.decision(features) for machine in self._machines], axis=1
+        )
+        winners = np.argmax(scores, axis=1)
+        return np.array([self.classes_[w] for w in winners])
+
+    def score(self, features: np.ndarray, labels: np.ndarray) -> float:
+        return float(np.mean(self.predict(features) == labels))
+
+
+def train_test_split(
+    features: np.ndarray,
+    labels: np.ndarray,
+    test_fraction: float = 0.25,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffled split, stratification-free (callers balance classes)."""
+    if not 0 < test_fraction < 1:
+        raise ReproError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(labels))
+    cut = max(1, int(len(labels) * test_fraction))
+    test_idx, train_idx = order[:cut], order[cut:]
+    return features[train_idx], labels[train_idx], features[test_idx], labels[test_idx]

@@ -1,0 +1,49 @@
+"""Attacks (paper Section V): Spectre-STL, Spectre-CTL, web, fingerprinting.
+
+All attack code obeys the paper's threat model: an unprivileged attacker
+with its own memory/code placement, ``clflush``/``rdpru``, and timing —
+no physical addresses, no PTEditor (those privileged tools live in
+:mod:`repro.revng`, the reverse-engineering phase).
+"""
+
+from repro.attacks.address_leak import AddressMappingLeak, RelativeHashLeak
+from repro.attacks.collision import CollisionResult, SsbpCollisionFinder
+from repro.attacks.covert_channel import ChannelReport, SsbpCovertChannel
+from repro.attacks.fingerprint import SsbpFingerprinter, collect_dataset
+from repro.attacks.flush_reload import FlushReloadChannel
+from repro.attacks.gadgets import (
+    CTL_REGS,
+    STL_REGS,
+    spectre_ctl_gadget,
+    spectre_stl_gadget,
+)
+from repro.attacks.runtime import AttackerStld
+from repro.attacks.spectre_ctl import CtlLeakReport, SpectreCTL
+from repro.attacks.spectre_stl import LeakReport, SpectreSTL
+from repro.attacks.spectre_stl_inplace import InPlaceLeakReport, SpectreSTLInPlace
+from repro.attacks.web import BrowserTimer, SpectreCTLWeb
+
+__all__ = [
+    "AddressMappingLeak",
+    "AttackerStld",
+    "BrowserTimer",
+    "CTL_REGS",
+    "ChannelReport",
+    "CollisionResult",
+    "CtlLeakReport",
+    "FlushReloadChannel",
+    "InPlaceLeakReport",
+    "LeakReport",
+    "RelativeHashLeak",
+    "STL_REGS",
+    "SpectreCTL",
+    "SpectreCTLWeb",
+    "SpectreSTL",
+    "SpectreSTLInPlace",
+    "SsbpCollisionFinder",
+    "SsbpCovertChannel",
+    "SsbpFingerprinter",
+    "collect_dataset",
+    "spectre_ctl_gadget",
+    "spectre_stl_gadget",
+]

@@ -1,0 +1,118 @@
+"""A cross-process covert channel built from SSBP alone (Vulnerability 4).
+
+The paper observes that because SSBP survives context switches and can
+be updated (even transiently) by one party and probed by another, it
+forms a covert channel needing **no shared memory and no cache lines**:
+
+* handshake — the receiver code-slides until one of its stld placements
+  collides with the sender's transmit stld (at most 4096 attempts);
+* send — for a 1-bit the sender charges the entry's C3 (the ``(7n, a)``
+  pattern); for a 0-bit it idles for a comparable time on a decoy stld;
+* receive — the receiver probes its colliding stld once: a stall is a 1
+  (then drains), a bypass is a 0.
+
+Scheduling alternates the two processes on one hardware thread; every
+switch flushes PSFP, which the channel never relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacks.collision import SsbpCollisionFinder
+from repro.attacks.runtime import AttackerStld
+from repro.core.exec_types import TimingClass
+from repro.cpu.machine import Machine
+
+__all__ = ["ChannelReport", "SsbpCovertChannel"]
+
+_STALL = (TimingClass.STALL_CACHE, TimingClass.STALL_FORWARD)
+
+
+@dataclass
+class ChannelReport:
+    """Outcome of one transmission."""
+
+    sent: list[int]
+    received: list[int]
+    cycles: int
+    clock_ghz: float
+
+    @property
+    def errors(self) -> int:
+        return sum(a != b for a, b in zip(self.sent, self.received))
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / len(self.sent) if self.sent else 0.0
+
+    @property
+    def bits_per_second(self) -> float:
+        seconds = self.cycles / (self.clock_ghz * 1e9)
+        return len(self.sent) / seconds if seconds else float("inf")
+
+
+class SsbpCovertChannel:
+    """Two cooperating processes with no shared mappings whatsoever."""
+
+    def __init__(self, machine: Machine | None = None, slide_pages: int = 8) -> None:
+        self.machine = machine or Machine(seed=1234)
+        kernel = self.machine.kernel
+        self.sender_process = kernel.create_process("covert-sender")
+        self.receiver_process = kernel.create_process("covert-receiver")
+        self.sender = AttackerStld(self.machine, self.sender_process, slide_pages=2)
+        self.receiver = AttackerStld(
+            self.machine, self.receiver_process, slide_pages=slide_pages
+        )
+        #: The sender transmits through this stld; a second placement
+        #: serves as the 0-bit decoy (comparable timing, different entry).
+        self.tx_program = self.sender.place_at(self.sender.slide_base + 512)
+        self.decoy_program = self.sender.place_at(self.sender.slide_base + 1536)
+        self.rx_program = None
+        self.handshake_attempts = 0
+
+    # ------------------------------------------------------------------
+    def handshake(self) -> int:
+        """Receiver slides until it collides with the sender's entry."""
+        finder = SsbpCollisionFinder(
+            self.receiver, recharge=lambda: self.sender.charge_c3(self.tx_program)
+        )
+        found = finder.find()
+        self.rx_program = found.program
+        self.handshake_attempts = found.attempts
+        # Clear the handshake residue.
+        self.receiver.drain_c3(self.rx_program)
+        return found.attempts
+
+    # ------------------------------------------------------------------
+    def _send_bit(self, bit: int) -> None:
+        if bit:
+            self.sender.charge_c3(self.tx_program)
+        else:
+            # Keep per-bit timing comparable without touching the entry.
+            self.sender.charge_c3(self.decoy_program)
+
+    def _receive_bit(self) -> int:
+        assert self.rx_program is not None, "handshake first"
+        observed = self.receiver.observe(self.rx_program, aliasing=False)
+        if observed in _STALL:
+            self.receiver.drain_c3(self.rx_program)
+            return 1
+        return 0
+
+    def transmit(self, bits: list[int]) -> ChannelReport:
+        """Send a bit string; returns what the receiver decoded."""
+        if self.rx_program is None:
+            self.handshake()
+        start = self.machine.core.thread(0).cycles
+        received = []
+        for bit in bits:
+            self._send_bit(bit)
+            received.append(self._receive_bit())
+        cycles = self.machine.core.thread(0).cycles - start
+        return ChannelReport(
+            sent=list(bits),
+            received=received,
+            cycles=cycles,
+            clock_ghz=self.machine.core.model.clock_ghz,
+        )

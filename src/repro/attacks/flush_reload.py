@@ -1,0 +1,96 @@
+"""The Flush+Reload cache covert channel [Yarom & Falkner, 50].
+
+The Spectre-STL attack encodes the leaked byte as a touched cache line
+inside a 256-slot, page-strided probe array; the attacker flushes every
+slot, lets the victim run, then times a reload of each slot — the fast
+one names the byte.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.isa import Clflush, Halt, Load, MovImm, Program
+from repro.cpu.machine import Machine
+from repro.errors import AttackError
+from repro.osm.process import Process
+
+__all__ = ["FlushReloadChannel"]
+
+
+class FlushReloadChannel:
+    """Flush+Reload over a page-strided probe array."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        process: Process,
+        base_va: int,
+        slots: int = 256,
+        stride: int = 4096,
+        thread_id: int = 0,
+    ) -> None:
+        self.machine = machine
+        self.process = process
+        self.base_va = base_va
+        self.slots = slots
+        self.stride = stride
+        self.thread_id = thread_id
+        instructions = [MovImm("base", self.base_va)]
+        instructions += [
+            Clflush(base="base", offset=slot * self.stride)
+            for slot in range(self.slots)
+        ]
+        instructions.append(Halt())
+        self._flush_program = machine.load_program(
+            process, Program(instructions, name="flush-all")
+        )
+        self._probe_program = machine.load_program(
+            process,
+            Program([Load("x", base="addr"), Halt()], name="reload"),
+        )
+        self.threshold = self._calibrate_threshold()
+
+    # ------------------------------------------------------------------
+    def _run(self, program: Program, regs: dict | None = None) -> int:
+        result = self.machine.run(
+            self.process, program, regs, thread_id=self.thread_id
+        )
+        return result.cycles
+
+    def _probe(self, slot: int) -> int:
+        return self._run(
+            self._probe_program, {"addr": self.base_va + slot * self.stride}
+        )
+
+    def _calibrate_threshold(self) -> int:
+        """Midpoint between a cached and a flushed reload of slot 0."""
+        self._probe(0)        # fill
+        hit = self._probe(0)  # cached
+        self.flush_all()
+        miss = self._probe(0)
+        if miss <= hit:
+            raise AttackError("flush+reload timing is not separable")
+        return (hit + miss) // 2
+
+    # ------------------------------------------------------------------
+    def flush_all(self) -> None:
+        """``clflush`` every slot (the attacker's pre-victim step)."""
+        self._run(self._flush_program)
+
+    def reload_times(self) -> list[int]:
+        """Timed reload of every slot, in slot order."""
+        return [self._probe(slot) for slot in range(self.slots)]
+
+    def receive(self) -> int | None:
+        """The slot whose reload was a cache hit, or None when no slot
+        (or more than two slots) signals — a failed round."""
+        times = self.reload_times()
+        hits = [slot for slot, t in enumerate(times) if t < self.threshold]
+        if len(hits) == 1:
+            return hits[0]
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"FlushReloadChannel(slots={self.slots}, stride={self.stride}, "
+            f"threshold={self.threshold})"
+        )

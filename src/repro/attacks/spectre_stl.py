@@ -1,0 +1,211 @@
+"""The out-of-place Spectre-STL attack (paper Section V-B).
+
+The attack leaks a victim function's reachable memory one byte at a time,
+inside one process (PSFP is flushed on context switches, so Spectre-STL
+cannot cross processes — a paper finding this module embodies):
+
+1. **Collision search** — the attacker slides its own stld until its load
+   IPA hashes to the victim gadget load's predictor entry (detected via
+   the SSBP stickiness the victim's aliasing runs leave behind), keeping
+   the same store→load IPA distance as the gadget so the *store* tags can
+   also coincide (Fig 7).  Candidates are validated by leaking a byte the
+   attacker already knows; the paper reports >90% success within 16 pages.
+2. **Mistraining** — the attacker drives the shared PSFP entry into the
+   PSF-enabled state with its own stld (one G event, then aliasing runs
+   until a predictive forward is observed).
+3. **Leak** — the attacker flushes the victim's ``idx`` cache line (the
+   store's address input), runs the victim once with ``x`` pointing at
+   the secret, and recovers the byte with Flush+Reload: in the transient
+   window ``x`` was forwarded to the gadget's first load, the second load
+   fetched ``array1[x]``, and the third encoded it into a cache line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.attacks.collision import CollisionResult, SsbpCollisionFinder
+from repro.attacks.flush_reload import FlushReloadChannel
+from repro.attacks.gadgets import spectre_stl_gadget
+from repro.attacks.runtime import AttackerStld
+from repro.cpu.isa import Clflush, Halt, MovImm, Program
+from repro.cpu.machine import Machine
+from repro.errors import AttackError, CollisionNotFound
+from repro.osm.process import Process
+
+__all__ = ["SpectreSTL", "LeakReport"]
+
+#: Store index used in attack runs: disjoint from the first 256 probe
+#: slots of array2 so the store never aliases the encoded line.
+_ATTACK_IDX = 300
+#: array1 offset whose byte the attacker controls, used to validate a
+#: collision candidate by leaking a known value.
+_VALIDATE_OFF = 0x180
+_VALIDATE_BYTE = 0xA7
+#: Architectural content of array2[0]: the squash replay re-encodes
+#: array1[array2[0]]; pointing it at a zero byte pins the replay's cache
+#: touch to slot 0, which reception accounts for.
+_DECOY_SLOT = 0
+
+
+@dataclass
+class LeakReport:
+    """Outcome of a leak campaign."""
+
+    recovered: bytes
+    expected: bytes
+    cycles: int
+    clock_ghz: float
+    collision: CollisionResult | None = None
+    validation_attempts: int = 0
+    per_byte_errors: list[int] = field(default_factory=list)
+
+    @property
+    def accuracy(self) -> float:
+        if not self.expected:
+            return 1.0
+        good = sum(a == b for a, b in zip(self.recovered, self.expected))
+        return good / len(self.expected)
+
+    @property
+    def bytes_per_second(self) -> float:
+        seconds = self.cycles / (self.clock_ghz * 1e9)
+        return len(self.recovered) / seconds if seconds else float("inf")
+
+
+class SpectreSTL:
+    """Out-of-place Spectre-STL against a same-process victim gadget."""
+
+    def __init__(self, machine: Machine | None = None, slide_pages: int = 16) -> None:
+        self.machine = machine or Machine(seed=1337)
+        kernel = self.machine.kernel
+        self.process: Process = kernel.create_process("victim-with-attacker")
+        # Victim state: array1 (byte pool the gadget indexes), array2
+        # (doubles as the Flush+Reload probe array), the secret, and the
+        # memory slot holding idx (flushed to delay the store).
+        self.array1 = kernel.map_anonymous(self.process, pages=2)
+        self.array2 = kernel.map_anonymous(self.process, pages=512)
+        self.idx_slot = kernel.map_anonymous(self.process, pages=1)
+        self.secret_va = kernel.map_anonymous(self.process, pages=4)
+        kernel.write(self.process, self.idx_slot, _ATTACK_IDX.to_bytes(8, "little"))
+        kernel.write(self.process, self.array1 + _VALIDATE_OFF, bytes([_VALIDATE_BYTE]))
+        # array2[0] architectural value: points the squash replay at a
+        # known-zero array1 byte (slot 0 decoy).
+        kernel.write(self.process, self.array2, (0).to_bytes(8, "little"))
+        self.victim = self.machine.load_program(self.process, spectre_stl_gadget())
+        self.attacker = AttackerStld(self.machine, self.process, slide_pages=slide_pages)
+        self.channel = FlushReloadChannel(self.machine, self.process, self.array2)
+        self._flush_idx_program = self.machine.load_program(
+            self.process,
+            Program(
+                [MovImm("p", self.idx_slot), Clflush(base="p"), Halt()],
+                name="flush-idx",
+            ),
+        )
+        self.collision: CollisionResult | None = None
+        self.validation_attempts = 0
+
+    # ------------------------------------------------------------------
+    # Victim invocation (the only interface the attacker has)
+    # ------------------------------------------------------------------
+    def run_victim(self, x: int, flush_idx: bool = True) -> None:
+        if flush_idx:
+            self.machine.run(self.process, self._flush_idx_program)
+        self.machine.run(
+            self.process,
+            self.victim,
+            {
+                "x": x & ((1 << 64) - 1),
+                "idx_ptr": self.idx_slot,
+                "array1": self.array1,
+                "array2": self.array2,
+            },
+        )
+
+    def _charge_victim_load(self) -> None:
+        """Charge the gadget load's SSBP stickiness so the collision scan
+        has something to observe: aliasing victim runs (idx = 0) deliver
+        G events; a syscall between them clears C0 so each run bypasses."""
+        kernel = self.machine.kernel
+        original = kernel.read(self.process, self.idx_slot, 8)
+        kernel.write(self.process, self.idx_slot, (0).to_bytes(8, "little"))
+        for _ in range(4):
+            kernel.syscall(self.process)
+            self.run_victim(x=0, flush_idx=True)
+        kernel.write(self.process, self.idx_slot, original)
+
+    # ------------------------------------------------------------------
+    # Phase 1: collision search + validation
+    # ------------------------------------------------------------------
+    def find_collision(self, max_candidates: int = 16) -> CollisionResult:
+        """Find and validate an attacker stld colliding with the victim
+        pair.  Load-hash candidates come from code sliding; each is
+        validated by leaking a byte the attacker knows (store-tag match
+        is not directly observable, Fig 7)."""
+        finder = SsbpCollisionFinder(self.attacker, self._charge_victim_load)
+        offset = 0
+        for candidate_index in range(max_candidates):
+            try:
+                candidate = finder.find(start_offset=offset)
+            except CollisionNotFound:
+                break
+            offset = candidate.iva - self.attacker.slide_base + 1
+            self.validation_attempts = candidate_index + 1
+            if self._validate(candidate):
+                self.collision = candidate
+                return candidate
+        raise AttackError(
+            f"no PSFP collision validated in {self.validation_attempts} candidates"
+        )
+
+    def _validate(self, candidate: CollisionResult) -> bool:
+        recovered = self._leak_byte(_VALIDATE_OFF, candidate)
+        return recovered == _VALIDATE_BYTE
+
+    # ------------------------------------------------------------------
+    # Phase 2+3: per-byte mistrain and leak
+    # ------------------------------------------------------------------
+    def _leak_byte(self, array1_offset: int, candidate: CollisionResult) -> int | None:
+        if not self.attacker.train_psf(candidate.program):
+            return None
+        self.channel.flush_all()
+        self.run_victim(x=array1_offset)
+        hits = [
+            slot
+            for slot, t in enumerate(self.channel.reload_times())
+            if t < self.channel.threshold
+        ]
+        hits = [h for h in hits if h != _DECOY_SLOT]
+        if len(hits) == 1:
+            return hits[0]
+        if not hits:
+            # Only the decoy fired: the leaked byte was the decoy value.
+            return _DECOY_SLOT
+        return None
+
+    def leak(self, secret: bytes) -> LeakReport:
+        """Plant ``secret`` in victim memory and leak it byte by byte."""
+        kernel = self.machine.kernel
+        kernel.write(self.process, self.secret_va, secret)
+        candidate = self.collision or self.find_collision()
+        start_cycles = self.machine.core.thread(0).cycles
+        recovered = bytearray()
+        errors = []
+        for index in range(len(secret)):
+            offset = self.secret_va + index - self.array1
+            byte = self._leak_byte(offset, candidate)
+            if byte is None:  # retry once on a failed round
+                byte = self._leak_byte(offset, candidate)
+            recovered.append(byte if byte is not None else 0)
+            if recovered[-1] != secret[index]:
+                errors.append(index)
+        cycles = self.machine.core.thread(0).cycles - start_cycles
+        return LeakReport(
+            recovered=bytes(recovered),
+            expected=secret,
+            cycles=cycles,
+            clock_ghz=self.machine.core.model.clock_ghz,
+            collision=candidate,
+            validation_attempts=self.validation_attempts,
+            per_byte_errors=errors,
+        )

@@ -1,0 +1,49 @@
+"""ARM's memory disambiguation unit (baseline for TABLE IV).
+
+Modeled after Liu et al. [34] ("Leaky MDU"): entries selected by the
+lowest 16 bits of the load's instruction *virtual* address, each a 1-bit
+predictor — a single clean execution flips the load to bypassing, a
+single aliasing execution flips it back.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.intel_mdu import MduCharacterization
+
+__all__ = ["ArmMdu"]
+
+
+class ArmMdu:
+    """1-bit disambiguator, low-16-bit IVA selection."""
+
+    INDEX_BITS = 16
+
+    def __init__(self) -> None:
+        self._bits = bytearray(1 << self.INDEX_BITS)
+
+    @staticmethod
+    def index(load_iva: int) -> int:
+        return load_iva & (1 << ArmMdu.INDEX_BITS) - 1
+
+    def predict_bypass(self, load_iva: int) -> bool:
+        return bool(self._bits[self.index(load_iva)])
+
+    def update(self, load_iva: int, aliased: bool) -> None:
+        self._bits[self.index(load_iva)] = 0 if aliased else 1
+
+    def flush(self) -> None:
+        self._bits = bytearray(1 << self.INDEX_BITS)
+
+    @classmethod
+    def characterization(cls) -> MduCharacterization:
+        return MduCharacterization(
+            vendor="ARM",
+            state_bits="1 bit",
+            selection="lowest 16 bits of the load IVA",
+            entries=1 << cls.INDEX_BITS,
+        )
+
+    def collision_attempts_needed(self) -> int:
+        """IVA-based selection: the attacker aligns its own code — no
+        search at all."""
+        return 1

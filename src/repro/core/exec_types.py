@@ -1,0 +1,197 @@
+"""Execution types A--H of a store-load pair (paper Fig 2).
+
+A *stld* (store-load pair with the store's address generation delayed)
+executes in one of eight ways, determined by what the predictors predicted
+and what was actually true:
+
+====  ==========  =========  ====================================  ========
+Type  Prediction  Truth      Behaviour                             Rollback
+====  ==========  =========  ====================================  ========
+A     aliasing    aliasing   stall, then store-to-load forward     no
+B     aliasing    aliasing   as A, but in the S2 state (C3 > 0)    no
+C     aliasing    aliasing   *predictive* store forward (PSF)      no
+D     aliasing    non-alias  PSF forwarded the wrong data          yes
+E     aliasing    non-alias  stall, then load from cache           no
+F     aliasing    non-alias  as E, but in the S2 state (C3 > 0)    no
+G     non-alias   aliasing   load bypassed a store it aliased      yes
+H     non-alias   non-alias  load bypassed the store correctly     no
+====  ==========  =========  ====================================  ========
+
+The paper observes six distinct *timing* levels because A/B and E/F are
+indistinguishable by time alone; they are separated using the inferred
+predictor state (Section III-B).  :data:`TIMING_CLASS` captures that
+six-way grouping.
+
+Each type also has a characteristic Performance Monitor Counter profile
+(the table embedded in Fig 2), reproduced in :data:`PMC_PROFILE`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from types import MappingProxyType
+
+__all__ = [
+    "ExecType",
+    "TimingClass",
+    "TIMING_CLASS",
+    "PMC_PROFILE",
+    "PmcProfile",
+    "classify_exec_type",
+]
+
+
+class ExecType(enum.Enum):
+    """One of the eight execution types of Fig 2."""
+
+    A = "A"
+    B = "B"
+    C = "C"
+    D = "D"
+    E = "E"
+    F = "F"
+    G = "G"
+    H = "H"
+
+    @property
+    def predicted_aliasing(self) -> bool:
+        """Whether the predictors predicted the pair as aliasing."""
+        return self in _PREDICTED_ALIASING
+
+    @property
+    def truth_aliasing(self) -> bool:
+        """Whether the store-load pair actually aliased."""
+        return self in _TRUTH_ALIASING
+
+    @property
+    def mispredicted(self) -> bool:
+        return self.predicted_aliasing != self.truth_aliasing
+
+    @property
+    def rollback(self) -> bool:
+        """Whether the pipeline was flushed (types D and G only).
+
+        Type E/F mispredictions (predicted aliasing, actually disjoint)
+        merely cost a needless stall; the loaded value is correct, so no
+        machine clear is needed.
+        """
+        return self in (ExecType.D, ExecType.G)
+
+    @property
+    def psf_forwarded(self) -> bool:
+        """Whether data was forwarded before the store address resolved."""
+        return self in (ExecType.C, ExecType.D)
+
+    @property
+    def stalled(self) -> bool:
+        """Whether the load waited for the store's address generation."""
+        return self in (ExecType.A, ExecType.B, ExecType.E, ExecType.F)
+
+    @property
+    def data_source(self) -> str:
+        """Where the load's (first) data came from: 'sq', 'cache' or 'forward'."""
+        if self.psf_forwarded:
+            return "forward"
+        if self is ExecType.G:
+            # The bypassing load read the cache, then was squashed and
+            # replayed with a store-queue forward.
+            return "cache"
+        if self.truth_aliasing:
+            return "sq"
+        return "cache"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_PREDICTED_ALIASING = frozenset(
+    {ExecType.A, ExecType.B, ExecType.C, ExecType.D, ExecType.E, ExecType.F}
+)
+_TRUTH_ALIASING = frozenset({ExecType.A, ExecType.B, ExecType.C, ExecType.G})
+
+
+class TimingClass(enum.Enum):
+    """The six timing-distinguishable groups of Fig 2, fastest first."""
+
+    BYPASS = "H"            # type H
+    PSF_FORWARD = "C"       # type C
+    STALL_FORWARD = "AB"    # types A and B
+    STALL_CACHE = "EF"      # types E and F
+    ROLLBACK_BYPASS = "G"   # type G
+    ROLLBACK_FORWARD = "D"  # type D
+
+    @property
+    def members(self) -> tuple[ExecType, ...]:
+        return _CLASS_MEMBERS[self]
+
+
+_CLASS_MEMBERS = {
+    TimingClass.BYPASS: (ExecType.H,),
+    TimingClass.PSF_FORWARD: (ExecType.C,),
+    TimingClass.STALL_FORWARD: (ExecType.A, ExecType.B),
+    TimingClass.STALL_CACHE: (ExecType.E, ExecType.F),
+    TimingClass.ROLLBACK_BYPASS: (ExecType.G,),
+    TimingClass.ROLLBACK_FORWARD: (ExecType.D,),
+}
+
+#: Map each execution type to its timing class.
+TIMING_CLASS: MappingProxyType = MappingProxyType(
+    {t: cls for cls, members in _CLASS_MEMBERS.items() for t in members}
+)
+
+
+@dataclass(frozen=True)
+class PmcProfile:
+    """Per-type PMC event counts for one stld invocation (Fig 2 table)."""
+
+    sq_stall_tokens: int        # "Dynamic Tokens Dispatch for SQ1 Stall Cycles"
+    store_to_load_forward: int  # "Store to Load Forwarding"
+    ld_dispatch: int            # "Ld Dispatch"
+    l1_itlb_hits_4k: int        # "L1 TLB Hits for Instruction Fetch 4K"
+    retired_ops: int            # "Retired Ops"
+
+
+def _profile(exec_type: ExecType) -> PmcProfile:
+    rollback = exec_type.rollback
+    return PmcProfile(
+        sq_stall_tokens=42 if exec_type.predicted_aliasing else 21,
+        store_to_load_forward=7 if exec_type.data_source in ("sq",) or rollback else 6,
+        ld_dispatch=44 if rollback else 41,
+        l1_itlb_hits_4k=105 if rollback else 83,
+        retired_ops=201 if rollback else 200,
+    )
+
+
+#: Reference PMC profile for each execution type.
+PMC_PROFILE: MappingProxyType = MappingProxyType({t: _profile(t) for t in ExecType})
+
+
+def classify_exec_type(
+    predicted_aliasing: bool,
+    psf_forward: bool,
+    truth_aliasing: bool,
+    sticky: bool,
+) -> ExecType:
+    """Derive the execution type from the prediction outcome.
+
+    Parameters
+    ----------
+    predicted_aliasing:
+        The combined prediction (``C0 > 0 or C3 > 0``).
+    psf_forward:
+        Whether predictive store forwarding was armed
+        (``C0 > 0 and C1 <= 12 and C2 > 0``).
+    truth_aliasing:
+        Whether the resolved store address matched the load address.
+    sticky:
+        Whether the SSBP stickiness counter was driving the prediction
+        (``C3 > 0``), which separates A from B and E from F.
+    """
+    if not predicted_aliasing:
+        return ExecType.G if truth_aliasing else ExecType.H
+    if psf_forward:
+        return ExecType.C if truth_aliasing else ExecType.D
+    if truth_aliasing:
+        return ExecType.B if sticky else ExecType.A
+    return ExecType.F if sticky else ExecType.E

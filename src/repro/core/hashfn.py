@@ -1,0 +1,140 @@
+"""The predictor-selection hash function (paper Section III-C.2).
+
+The predictors are selected by the *instruction physical address* (IPA) of
+the load (and, for PSFP, also of the store).  A 48-bit IPA is compressed to
+12 bits by XOR-folding groups of 4 bits at a stride of 12:
+
+    h_i = IPA_i  XOR  IPA_{i+12}  XOR  IPA_{i+24}  XOR  IPA_{i+36}
+
+for ``i`` in 0..11.  Equivalently ``h = fold XOR of the four 12-bit chunks``.
+
+Because the low 12 bits of the IPA are the page offset ``O`` and the upper
+36 bits the page frame ``F``, this is also
+
+    h_i = O_i  XOR  F_i  XOR  F_{i+12}  XOR  F_{i+24}
+
+which is the form used in the paper's collision-feasibility proof
+(Section IV-B.1): for any target hash and any executable page, some page
+offset produces a collision, hence at most 4096 attempts are needed.
+
+A ``salt`` parameter implements the randomized-selection mitigation of
+Section VI-B.  Crucially, the mitigation must apply a *keyed non-linear
+mix* before folding: a plain XOR premix commutes with the linear fold, so
+any two addresses that collide under one key collide under every key —
+code-sliding collisions would survive re-keying untouched.  With the
+non-linear mix, re-keying (e.g. per context switch) re-shuffles the
+collision structure and strands previously found collisions.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "HASH_BITS",
+    "IPA_BITS",
+    "STRIDE",
+    "ipa_hash",
+    "hash_from_frame_offset",
+    "collision_offset",
+    "xor_profile",
+]
+
+#: Width of the hash output in bits.
+HASH_BITS = 12
+#: Width of an instruction physical address in bits.
+IPA_BITS = 48
+#: Fold stride: bits ``i, i+12, i+24, i+36`` are XORed together.
+STRIDE = 12
+
+_MASK = (1 << HASH_BITS) - 1
+_IPA_MASK = (1 << IPA_BITS) - 1
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+
+
+_U64 = (1 << 64) - 1
+
+
+def _keyed_mix(value: int, salt: int) -> int:
+    """A splitmix64-style keyed permutation of the IPA (mitigation only).
+
+    Non-linearity is the point: see the module docstring.
+    """
+    x = (value ^ (salt * 0x9E3779B97F4A7C15)) & _U64
+    x = (x * 0xBF58476D1CE4E5B9) & _U64
+    x ^= x >> 31
+    x = (x * 0x94D049BB133111EB) & _U64
+    x ^= x >> 29
+    return x & _IPA_MASK
+
+
+def ipa_hash(ipa: int, salt: int = 0) -> int:
+    """Compress a 48-bit IPA into the 12-bit predictor selector.
+
+    ``salt = 0`` is the hardware hash the paper recovered (a pure XOR
+    fold); a non-zero salt models the randomized-selection mitigation
+    (keyed non-linear mix before the fold).
+
+    >>> ipa_hash(0)
+    0
+    >>> ipa_hash(0x001_001_001_001)  # the same bit in all four chunks
+    0
+    """
+    if ipa < 0:
+        raise ValueError(f"IPA must be non-negative, got {ipa}")
+    value = ipa & _IPA_MASK
+    if salt:
+        value = _keyed_mix(value, salt & _U64)
+    folded = 0
+    while value:
+        folded ^= value & _MASK
+        value >>= STRIDE
+    return folded
+
+
+def hash_from_frame_offset(frame: int, offset: int, salt: int = 0) -> int:
+    """Hash of the IPA composed of a physical page ``frame`` and ``offset``.
+
+    ``frame`` is the physical page number (36 bits), ``offset`` the byte
+    offset within the 4 KiB page.
+    """
+    if not 0 <= offset < PAGE_SIZE:
+        raise ValueError(f"page offset out of range: {offset}")
+    return ipa_hash((frame << PAGE_SHIFT) | offset, salt)
+
+
+def collision_offset(target_hash: int, frame: int, salt: int = 0) -> int:
+    """Page offset within physical ``frame`` whose IPA hashes to ``target_hash``.
+
+    This is the constructive form of the paper's Vulnerability 2 argument:
+    the page-offset bits enter the hash linearly (one XOR each), so any
+    target value is reachable within one page.  An attacker cannot compute
+    this directly (it needs the frame number); the library uses it as a
+    ground-truth oracle in tests, while attacks search by probing.
+    """
+    if not 0 <= target_hash <= _MASK:
+        raise ValueError(f"hash out of range: {target_hash}")
+    if salt == 0:
+        # Linear case: the offset bits enter the fold directly.
+        return target_hash ^ hash_from_frame_offset(frame, 0)
+    # Keyed (mitigated) hash: no algebraic shortcut — search the page.
+    for offset in range(PAGE_SIZE):
+        if hash_from_frame_offset(frame, offset, salt) == target_hash:
+            return offset
+    raise ValueError(
+        f"no offset in frame {frame:#x} reaches hash {target_hash:#x} "
+        f"under salt {salt:#x}"
+    )
+
+
+def xor_profile(ipa_a: int, ipa_b: int) -> list[int]:
+    """Per-output-bit XOR parity of two IPAs, the quantity plotted in Fig 4.
+
+    Returns a 12-element list; element ``i`` is the XOR of bits
+    ``i, i+12, i+24, i+36`` of ``ipa_a XOR ipa_b``.  Two IPAs collide under
+    :func:`ipa_hash` exactly when the profile is all zeros, which is the
+    "identical XOR values at stride 12" property the paper observed on
+    colliding address pairs.
+    """
+    diff = (ipa_a ^ ipa_b) & _IPA_MASK
+    return [(diff >> i & 1) ^ (diff >> (i + 12) & 1) ^ (diff >> (i + 24) & 1)
+            ^ (diff >> (i + 36) & 1) for i in range(HASH_BITS)]

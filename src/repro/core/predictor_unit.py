@@ -1,0 +1,176 @@
+"""The combined speculative memory access predictor unit (paper Fig 6).
+
+One :class:`PredictorUnit` is the per-hardware-thread machinery that the
+paper reverse engineers: a PSFP (selected by both hashed IPAs) and an SSBP
+(selected by the hashed load IPA) whose five counters jointly drive the
+TABLE I state machine.
+
+The unit is deliberately unaware of virtual memory, processes or the
+pipeline: it consumes pre-hashed IPAs and aliasing ground truth and
+produces predictions, execution types and counter updates.  Higher layers
+(:mod:`repro.cpu`, :mod:`repro.osm`) decide *when* to consult it, when to
+flush what (context switch: PSFP only; suspend: both) and how updates made
+inside a transient window persist (they always do — Vulnerability 4).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.config import CpuModel, default_model
+from repro.core.counters import CounterState
+from repro.core.exec_types import ExecType
+from repro.core.psfp import Psfp
+from repro.core.spec_ctrl import SpecCtrl
+from repro.core.ssbp import Ssbp
+from repro.core.state_machine import (
+    Prediction,
+    StateName,
+    classify_state,
+    predict as predict_state,
+    transition,
+)
+
+__all__ = ["AccessResult", "PredictorUnit"]
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Everything the pipeline needs to know about one store-load pair."""
+
+    exec_type: ExecType
+    prediction: Prediction
+    state_name: StateName
+    before: CounterState
+    after: CounterState
+
+
+_SSBD_BLOCK = Prediction(aliasing=True, psf_forward=False, sticky=False)
+
+
+class PredictorUnit:
+    """PSFP + SSBP + TABLE I transition logic for one hardware thread."""
+
+    def __init__(
+        self,
+        model: CpuModel | None = None,
+        spec_ctrl: SpecCtrl | None = None,
+        hash_salt: int = 0,
+    ) -> None:
+        self.model = model or default_model()
+        self.spec_ctrl = spec_ctrl or SpecCtrl()
+        #: Salt for the randomized-selection mitigation; callers that hash
+        #: IPAs themselves must use the same salt (see repro.mitigations).
+        self.hash_salt = hash_salt
+        self.psfp = Psfp(self.model.psfp_entries)
+        self.ssbp = Ssbp(self.model.ssbp_sets, self.model.ssbp_ways)
+        self.exec_type_counts: Counter[ExecType] = Counter()
+        self.context_switches = 0
+        self.suspends = 0
+
+    # ------------------------------------------------------------------
+    # State assembly and prediction
+    # ------------------------------------------------------------------
+    def state_for(self, store_hash: int, load_hash: int) -> CounterState:
+        """Assemble the five-counter state for one (store, load) pair.
+
+        On a core without PSF hardware (Zen 2) there is no PSFP: the
+        pair counters read as zero and are never written, leaving only
+        the SSBP dynamics (Initialize / Load-From-Cache / S2 states).
+        """
+        if self.model.psf_supported:
+            c0, c1, c2 = self.psfp.counters(store_hash, load_hash)
+        else:
+            c0 = c1 = c2 = 0
+        c3, c4 = self.ssbp.counters(load_hash)
+        return CounterState(c0=c0, c1=c1, c2=c2, c3=c3, c4=c4)
+
+    def predict(self, store_hash: int, load_hash: int) -> Prediction:
+        """What the unit will do for the next pair at these IPAs."""
+        if self.spec_ctrl.ssbd:
+            return _SSBD_BLOCK
+        return predict_state(self.state_for(store_hash, load_hash))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def access(
+        self, store_hash: int, load_hash: int, aliasing: bool
+    ) -> AccessResult:
+        """Execute one store-load pair: predict, classify, update counters.
+
+        This is called for architectural *and* transient executions alike;
+        predictor updates are never rolled back (Vulnerability 4).
+        """
+        before = self.state_for(store_hash, load_hash)
+        if self.spec_ctrl.ssbd:
+            # Loads serialize behind stores; the unit is pinned in the
+            # Block state and learns nothing (Section VI-A).
+            exec_type = ExecType.A if aliasing else ExecType.E
+            self.exec_type_counts[exec_type] += 1
+            return AccessResult(
+                exec_type=exec_type,
+                prediction=_SSBD_BLOCK,
+                state_name=StateName.BLOCK,
+                before=before,
+                after=before,
+            )
+
+        pred = predict_state(before)
+        result = transition(before, aliasing)
+        after = result.state
+        # Entries are allocated only by a mispredicted bypass (type G);
+        # other events update live entries but never claim a new slot.
+        allocate = result.exec_type is ExecType.G
+        if self.model.psf_supported:
+            self.psfp.update(
+                store_hash, load_hash, after.c0, after.c1, after.c2, allocate=allocate
+            )
+        self.ssbp.update(load_hash, after.c3, after.c4, allocate=allocate)
+        self.exec_type_counts[result.exec_type] += 1
+        return AccessResult(
+            exec_type=result.exec_type,
+            prediction=pred,
+            state_name=result.state_name,
+            before=before,
+            after=after,
+        )
+
+    # ------------------------------------------------------------------
+    # Flush semantics (Section IV-A)
+    # ------------------------------------------------------------------
+    def on_context_switch(self, flush_ssbp: bool = False) -> None:
+        """A context switch flushes PSFP but (vulnerably) not SSBP.
+
+        ``flush_ssbp=True`` models the mitigation of Section VI-B.
+        """
+        self.context_switches += 1
+        self.psfp.flush()
+        if flush_ssbp:
+            self.ssbp.flush()
+
+    def on_suspend(self) -> None:
+        """Process suspension (``sleep``) flushes both predictors."""
+        self.suspends += 1
+        self.psfp.flush()
+        self.ssbp.flush()
+
+    def reset(self) -> None:
+        """Full reset (power-on state)."""
+        self.psfp.flush()
+        self.ssbp.flush()
+        self.exec_type_counts.clear()
+
+    # ------------------------------------------------------------------
+    # Introspection used by experiments
+    # ------------------------------------------------------------------
+    def state_name_for(self, store_hash: int, load_hash: int) -> StateName:
+        return classify_state(self.state_for(store_hash, load_hash))
+
+    def __repr__(self) -> str:
+        return (
+            f"PredictorUnit(model={self.model.name!r}, psfp={self.psfp.occupancy}"
+            f"/{self.psfp.capacity}, ssbp={self.ssbp.occupancy}/{self.ssbp.capacity}, "
+            f"ssbd={self.spec_ctrl.ssbd})"
+        )

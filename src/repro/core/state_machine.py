@@ -1,0 +1,217 @@
+"""The combined PSFP/SSBP counter state machine (paper TABLE I).
+
+The transition function operates on a five-counter :class:`CounterState`
+and an input symbol — an *aliasing* (``a``) or *non-aliasing* (``n``)
+store-load pair — and yields the observed execution type together with the
+successor state.
+
+The implementation follows TABLE I with the two documented amendments from
+DESIGN.md section 2 (both required to reproduce sequences the paper itself
+reports):
+
+1. on a ``G`` event, ``C4`` increments *before* the ``C3`` charge condition
+   is evaluated, so the third ``G`` on an entry sets ``C3 = 15``;
+2. the S2/PSF-disabled ``n`` transition also decays ``C0`` by 1, so a long
+   run of non-aliasing pairs ends in the Load-From-Cache state (``...,15F,H``).
+
+State classification is total: counter combinations that TABLE I leaves
+unlisted (e.g. ``C0>0, C2=0, C3>0``) fall into the S2/PSF-disabled state,
+the most conservative stalling behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.core.counters import C3_MAX, CounterState
+from repro.core.exec_types import ExecType, classify_exec_type
+
+__all__ = [
+    "StateName",
+    "Prediction",
+    "Transition",
+    "PSF_C1_THRESHOLD",
+    "classify_state",
+    "predict",
+    "transition",
+    "run_sequence",
+    "iter_sequence",
+    "g_event_state",
+]
+
+#: Predictive store forwarding is armed only while ``C1 <= 12``.
+PSF_C1_THRESHOLD = 12
+
+
+class StateName(enum.Enum):
+    """The seven states of TABLE I (classification of counter values)."""
+
+    INITIALIZE = "initialize"
+    BLOCK = "block"
+    LOAD_FROM_CACHE = "load-from-cache"
+    S1_PSF_ENABLED = "sq-psf-enabled-s1"
+    S1_PSF_DISABLED = "sq-psf-disabled-s1"
+    S2_PSF_ENABLED = "sq-psf-enabled-s2"
+    S2_PSF_DISABLED = "sq-psf-disabled-s2"
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """What the predictors will do for the next store-load pair."""
+
+    aliasing: bool
+    """Predicted as aliasing: the load waits for the store's address."""
+
+    psf_forward: bool
+    """Predictive store forwarding armed: the store's data is forwarded to
+    the load before the store's address is even generated."""
+
+    sticky: bool
+    """The SSBP stickiness counter (``C3 > 0``) is driving the prediction."""
+
+
+@dataclass(frozen=True)
+class Transition:
+    """Result of executing one store-load pair against a counter state."""
+
+    exec_type: ExecType
+    state: CounterState
+    state_name: StateName
+
+
+def classify_state(state: CounterState) -> StateName:
+    """Map a counter state to its TABLE I state name (total function)."""
+    psf_qualified = (
+        state.c0 > 0 and state.c1 <= PSF_C1_THRESHOLD and state.c2 > 0
+    )
+    if state.c3 > 0:
+        return StateName.S2_PSF_ENABLED if psf_qualified else StateName.S2_PSF_DISABLED
+    if state.c0 > 0:
+        if state.c2 == 0:
+            return StateName.BLOCK
+        return StateName.S1_PSF_ENABLED if psf_qualified else StateName.S1_PSF_DISABLED
+    if state.c2 > 0:
+        return StateName.LOAD_FROM_CACHE
+    return StateName.INITIALIZE
+
+
+def predict(state: CounterState) -> Prediction:
+    """Read-only prediction for the next pair (no counters change)."""
+    name = classify_state(state)
+    aliasing = state.c0 > 0 or state.c3 > 0
+    psf = name in (StateName.S1_PSF_ENABLED, StateName.S2_PSF_ENABLED)
+    return Prediction(aliasing=aliasing, psf_forward=psf, sticky=state.c3 > 0)
+
+
+def g_event_state(state: CounterState) -> CounterState:
+    """Counter state after a mispredicted bypass (type G) event.
+
+    Sets the PSFP counters to their trained values and charges the SSBP
+    stickiness counter once the G-event counter saturates (amendment 1:
+    ``C4`` increments before the charge condition is evaluated).
+    """
+    c4 = min(state.c4 + 1, 3)
+    return CounterState(c0=4, c1=16, c2=2, c3=0 if c4 < 3 else 15, c4=c4)
+
+
+def transition(state: CounterState, aliasing: bool) -> Transition:
+    """Execute one store-load pair: TABLE I, one row.
+
+    Parameters
+    ----------
+    state:
+        Current counter values.
+    aliasing:
+        Ground truth of the pair: ``True`` for ``a``, ``False`` for ``n``.
+    """
+    name = classify_state(state)
+    pred = predict(state)
+    exec_type = classify_exec_type(
+        predicted_aliasing=pred.aliasing,
+        psf_forward=pred.psf_forward,
+        truth_aliasing=aliasing,
+        sticky=pred.sticky,
+    )
+
+    if name in (StateName.INITIALIZE, StateName.LOAD_FROM_CACHE):
+        nxt = g_event_state(state) if aliasing else state
+    elif name is StateName.BLOCK:
+        nxt = state
+    elif name is StateName.S1_PSF_ENABLED:
+        if aliasing:  # type C
+            bump = 1 if state.c1 & 3 == 3 else 0
+            nxt = state.with_updates(c0=state.c0 + bump, c1=state.c1 - 1)
+        else:  # type D
+            nxt = state.with_updates(
+                c0=state.c0 - 1, c1=state.c1 + 4, c2=state.c2 - 1
+            )
+    elif name is StateName.S1_PSF_DISABLED:
+        if aliasing:  # type A
+            bump = 1 if state.c1 & 3 == 3 else 0
+            nxt = state.with_updates(c0=state.c0 + bump, c1=state.c1 - 1)
+        else:  # type E
+            nxt = state.with_updates(c0=state.c0 - 1, c1=state.c1 + 4)
+    elif name is StateName.S2_PSF_DISABLED:
+        if aliasing:  # type B
+            bump = 1 if (state.c1 & 3 == 3 and state.c0 > 0) else 0
+            c3 = state.c3 - 1 if state.c0 > 0 else min(state.c3 + 16, C3_MAX)
+            nxt = state.with_updates(
+                c0=state.c0 + bump, c1=state.c1 - 1, c3=c3
+            )
+        else:  # type F (amendment 2: C0 decays here too)
+            nxt = state.with_updates(
+                c0=state.c0 - 1, c1=state.c1 + 4, c3=state.c3 - 1
+            )
+    else:  # S2_PSF_ENABLED
+        if aliasing:  # type C
+            bump = 1 if (state.c1 & 3 == 3 and state.c0 > 0) else 0
+            c3 = state.c3 - 1 if state.c0 > 0 else min(state.c3 + 16, C3_MAX)
+            nxt = state.with_updates(
+                c0=state.c0 + bump, c1=state.c1 - 1, c3=c3
+            )
+        else:  # type D
+            nxt = state.with_updates(
+                c0=state.c0 - 1, c1=state.c1 + 4, c3=state.c3 - 2
+            )
+
+    return Transition(exec_type=exec_type, state=nxt, state_name=name)
+
+
+def iter_sequence(
+    state: CounterState, inputs: Iterable[bool], psf_supported: bool = True
+) -> Iterator[Transition]:
+    """Yield the transition for each input pair, threading the state.
+
+    ``psf_supported=False`` models a core without PSF hardware (Zen 2):
+    the PSFP counters read as zero and are never retained, leaving only
+    the SSBP dynamics.
+    """
+    for aliasing in inputs:
+        result = transition(state, aliasing)
+        state = result.state
+        if not psf_supported:
+            state = state.with_updates(c0=0, c1=0, c2=0)
+            result = Transition(
+                exec_type=result.exec_type,
+                state=state,
+                state_name=result.state_name,
+            )
+        yield result
+
+
+def run_sequence(
+    state: CounterState, inputs: Iterable[bool], psf_supported: bool = True
+) -> tuple[list[ExecType], CounterState]:
+    """Execute a whole input sequence; return the types and final state.
+
+    ``inputs`` is an iterable of booleans (``True`` = aliasing).  Use
+    :func:`repro.revng.sequences.parse` to turn strings like ``"7n,a"``
+    into such an iterable.
+    """
+    types: list[ExecType] = []
+    for result in iter_sequence(state, inputs, psf_supported):
+        types.append(result.exec_type)
+        state = result.state
+    return types, state

@@ -1,0 +1,233 @@
+"""The micro-ISA interpreted by the simulated pipeline.
+
+A :class:`Program` is a list of instruction objects assembled at a base
+instruction *virtual* address; each instruction occupies a fixed number of
+bytes, so code sliding (placing the same code at byte-granular offsets,
+Section III-C.2) is just a prefix of 1-byte ``Pad`` instructions.
+
+The ISA is deliberately tiny — the paper's microbenchmarks and gadgets
+need loads, stores, multiply/ALU chains (for address-generation delay),
+``clflush``/``mfence``, ``rdpru`` and a conditional branch.  Registers
+are named strings holding unsigned integers.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError, InvalidInstruction
+
+__all__ = [
+    "Instruction",
+    "MovImm",
+    "Mov",
+    "Alu",
+    "AluImm",
+    "Imul",
+    "ImulImm",
+    "Load",
+    "Store",
+    "Clflush",
+    "Mfence",
+    "Rdpru",
+    "Jz",
+    "Label",
+    "Pad",
+    "Halt",
+    "Program",
+]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class: every instruction has an encoded size in bytes."""
+
+    @property
+    def size(self) -> int:
+        return 4
+
+
+@dataclass(frozen=True)
+class Pad(Instruction):
+    """A 1-byte filler (nop) used for byte-granular code sliding."""
+
+    @property
+    def size(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class MovImm(Instruction):
+    dst: str
+    value: int
+
+
+@dataclass(frozen=True)
+class Mov(Instruction):
+    dst: str
+    src: str
+
+
+@dataclass(frozen=True)
+class Alu(Instruction):
+    """1-cycle ALU op on two registers."""
+
+    dst: str
+    a: str
+    b: str
+    op: str = "add"  # add | sub | xor | and | or
+
+
+@dataclass(frozen=True)
+class AluImm(Instruction):
+    dst: str
+    src: str
+    imm: int
+    op: str = "add"
+
+
+@dataclass(frozen=True)
+class Imul(Instruction):
+    """3-cycle multiply; chains of these delay address generation."""
+
+    dst: str
+    a: str
+    b: str
+
+
+@dataclass(frozen=True)
+class ImulImm(Instruction):
+    dst: str
+    src: str
+    imm: int
+
+
+@dataclass(frozen=True)
+class Load(Instruction):
+    """``dst = mem[reg[base] + offset]`` (little-endian, ``size`` bytes)."""
+
+    dst: str
+    base: str
+    offset: int = 0
+    width: int = 8
+
+
+@dataclass(frozen=True)
+class Store(Instruction):
+    """``mem[reg[base] + offset] = reg[src]`` (``width`` bytes)."""
+
+    base: str
+    src: str
+    offset: int = 0
+    width: int = 8
+
+
+@dataclass(frozen=True)
+class Clflush(Instruction):
+    base: str
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class Mfence(Instruction):
+    """Serialize: resolve and commit every pending store."""
+
+
+@dataclass(frozen=True)
+class Rdpru(Instruction):
+    """Read the cycle counter into ``dst`` (the paper's timing primitive)."""
+
+    dst: str
+
+
+@dataclass(frozen=True)
+class Jz(Instruction):
+    """Branch to ``label`` when ``reg[cond] == 0`` (predicted, trainable)."""
+
+    cond: str
+    label: str
+
+
+@dataclass(frozen=True)
+class Label(Instruction):
+    """A named position; occupies no bytes."""
+
+    name: str
+
+    @property
+    def size(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class Halt(Instruction):
+    """Stop execution (end of the measured routine)."""
+
+
+@dataclass
+class Program:
+    """An assembled instruction sequence with label resolution.
+
+    ``base_iva`` is where the first instruction lives in the owning
+    process's address space; each instruction's IVA follows from the
+    encoded sizes.  The pipeline translates IVAs to IPAs through the page
+    tables, so physical placement — what the predictors actually hash —
+    is controlled by the kernel's frame allocator.
+    """
+
+    instructions: list[Instruction]
+    base_iva: int = 0
+    name: str = "program"
+    _ivas: list[int] = field(default_factory=list, repr=False)
+    _labels: dict[str, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._layout()
+
+    def _layout(self) -> None:
+        self._ivas = []
+        self._labels = {}
+        cursor = self.base_iva
+        for index, instruction in enumerate(self.instructions):
+            self._ivas.append(cursor)
+            if isinstance(instruction, Label):
+                if instruction.name in self._labels:
+                    raise ConfigError(f"duplicate label {instruction.name!r}")
+                self._labels[instruction.name] = index
+            cursor += instruction.size
+
+    def relocate(self, base_iva: int) -> "Program":
+        """A copy of this program laid out at a different base address."""
+        return Program(list(self.instructions), base_iva, self.name)
+
+    def iva(self, index: int) -> int:
+        """Instruction virtual address of the instruction at ``index``."""
+        return self._ivas[index]
+
+    def label_index(self, name: str) -> int:
+        try:
+            return self._labels[name]
+        except KeyError:
+            raise InvalidInstruction(f"unknown label {name!r}") from None
+
+    @property
+    def byte_size(self) -> int:
+        return sum(instruction.size for instruction in self.instructions)
+
+    def encode(self) -> bytes:
+        """Synthetic machine code: a stable byte pattern per instruction.
+
+        The bytes have no semantics (the pipeline interprets the objects),
+        but they make code pages real: fork/COW copies them, and the code
+        sliding experiments can fill pages with them the way the paper
+        fills pages with stld machine code.
+        """
+        blob = bytearray()
+        for instruction in self.instructions:
+            digest = zlib.crc32(type(instruction).__name__.encode())
+            blob += bytes([(digest & 0xFF) or 0x90] * instruction.size)
+        return bytes(blob)
+
+    def __len__(self) -> int:
+        return len(self.instructions)

@@ -1,0 +1,779 @@
+"""The speculative execution pipeline.
+
+An interpreter-level out-of-order core model: instructions execute in
+program order, but every value carries a *ready cycle* (dataflow timing),
+stores sit in the store queue until their address generation completes,
+and loads that race an unresolved older store consult the predictor unit
+— opening transient windows exactly the way the paper's Fig 8 describes:
+
+* **predict aliasing + PSF armed** — the store's data is forwarded before
+  its address exists; if the addresses turn out disjoint the window is
+  squashed (type D);
+* **predict aliasing, PSF off** — the load stalls until address
+  generation (types A/B/E/F, no squash);
+* **predict non-aliasing** — the load bypasses the store and reads the
+  *stale* value from cache/memory; if the addresses collide the window is
+  squashed (type G).
+
+Architectural effects (registers, store-queue contents) are rolled back
+on a squash; microarchitectural effects — cache fills and **predictor
+updates** — persist, which is Vulnerability 4 and the foundation of the
+Spectre-CTL covert channel.
+
+Branch mispredictions and faulting loads open windows through the same
+rollback machinery (used by the Section IV-D experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.exec_types import ExecType
+from repro.core.hashfn import ipa_hash
+from repro.core.state_machine import Prediction
+from repro.cpu.core import Core
+from repro.cpu.isa import (
+    Alu,
+    AluImm,
+    Clflush,
+    Halt,
+    Imul,
+    ImulImm,
+    Jz,
+    Label,
+    Load,
+    Mfence,
+    Mov,
+    MovImm,
+    Pad,
+    Program,
+    Rdpru,
+    Store,
+)
+from repro.cpu.pmc import PmcEvent
+from repro.cpu.thread import HardwareThread
+from repro.errors import (
+    InvalidInstruction,
+    SegmentationFault,
+    SimulationLimitExceeded,
+)
+from repro.mem.store_queue import StoreEntry
+from repro.osm.address_space import Perm
+from repro.osm.kernel import Kernel
+from repro.osm.process import Process
+
+__all__ = ["StldEvent", "RunResult", "Pipeline", "FAULT_WINDOW"]
+
+_U64 = (1 << 64) - 1
+
+#: Cycles between a faulting load's execution and fault delivery (retire).
+FAULT_WINDOW = 30
+
+
+@dataclass
+class _SpecLoad:
+    """A load that executed against an unresolved store."""
+
+    load_seq: int
+    load_index: int
+    load_ipa: int
+    load_hash: int
+    store_hash: int
+    paddr: int
+    width: int
+    prediction: Prediction
+    truth: bool
+    covers: bool
+    #: Snapshot to restore if this load's speculation squashes, or None
+    #: when the speculation is known-benign (stall paths).
+    snapshot: "_Snapshot | None"
+    #: An alias guard: the load read around this (non-nearest) unresolved
+    #: store and the addresses overlap — a memory-ordering squash with no
+    #: predictor involvement (the predictor pair is the *nearest* store).
+    guard: bool = False
+
+
+@dataclass
+class _Snapshot:
+    regs: dict[str, int]
+    ready: dict[str, int]
+    index: int
+    retired: int
+
+
+@dataclass
+class _TransientWindow:
+    """A branch-mispredict or pending-fault wrong-path context."""
+
+    stop: int                 # cycle at which the window squashes
+    snapshot: _Snapshot
+    resume_index: int         # correct-path index after the squash
+    base_seq: int             # memory-op seq at window entry
+    fault: SegmentationFault | None = None
+
+
+@dataclass(frozen=True)
+class StldEvent:
+    """One resolved store-load interaction (for tests and experiments)."""
+
+    exec_type: ExecType
+    store_ipa: int
+    load_ipa: int
+    cycle: int
+
+
+@dataclass
+class RunResult:
+    """Outcome of one :meth:`Pipeline.run`."""
+
+    regs: dict[str, int]
+    cycles: int
+    events: list[StldEvent] = field(default_factory=list)
+    rollbacks: int = 0
+    fault: SegmentationFault | None = None
+    retired: int = 0
+
+
+class Pipeline:
+    """Executes programs of one process on one hardware thread."""
+
+    def __init__(self, core: Core, thread: HardwareThread, kernel: Kernel) -> None:
+        self.core = core
+        self.thread = thread
+        self.kernel = kernel
+        self.lat = core.model.latency
+        #: 2-bit branch direction counters, keyed by branch IVA.
+        self.branch_counters: dict[int, int] = {}
+
+    def run(
+        self,
+        process: Process,
+        program: Program,
+        regs: dict[str, int] | None = None,
+        max_steps: int = 200_000,
+    ) -> RunResult:
+        """Execute ``program`` to completion; returns the run result.
+
+        The hardware thread's cycle counter advances by the program's
+        execution time, so back-to-back runs model back-to-back calls of
+        a measured routine while microarchitectural state (predictors,
+        caches, branch counters) persists between them.
+        """
+        state = _ExecState(self, process, program, dict(regs or {}))
+        result = state.execute(max_steps)
+        self.thread.advance(result.cycles)
+        return result
+
+    def begin(
+        self,
+        process: Process,
+        program: Program,
+        regs: dict[str, int] | None = None,
+    ) -> "_ExecState":
+        """Start a steppable execution (see :meth:`_ExecState.step`);
+        callers drive it and account thread cycles from the final result."""
+        return _ExecState(self, process, program, dict(regs or {}))
+
+    # Branch prediction: 2-bit saturating direction counters.
+    def predict_branch(self, iva: int) -> bool:
+        return self.branch_counters.get(iva, 1) >= 2
+
+    def train_branch(self, iva: int, taken: bool) -> None:
+        counter = self.branch_counters.get(iva, 1)
+        self.branch_counters[iva] = min(counter + 1, 3) if taken else max(counter - 1, 0)
+
+
+class _ExecState:
+    """Mutable interpreter state for one program run."""
+
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        process: Process,
+        program: Program,
+        regs: dict[str, int],
+    ) -> None:
+        self.pipe = pipeline
+        self.core = pipeline.core
+        self.thread = pipeline.thread
+        self.kernel = pipeline.kernel
+        self.lat = pipeline.lat
+        self.process = process
+        self.program = program
+        self.regs = regs
+        self.ready: dict[str, int] = {}
+        self.index = 0
+        self.dispatch = 0
+        self.seq = 0
+        self.retired = 0
+        self.result = RunResult(regs=self.regs, cycles=0)
+        self.window: _TransientWindow | None = None
+        self.halted = False
+
+    # ------------------------------------------------------------------
+    # Small helpers
+    # ------------------------------------------------------------------
+    def _reg(self, name: str) -> int:
+        return self.regs.get(name, 0)
+
+    def _ready_of(self, *names: str) -> int:
+        return max((self.ready.get(name, 0) for name in names), default=0)
+
+    def _set_reg(self, name: str, value: int, ready: int) -> None:
+        self.regs[name] = value & _U64
+        self.ready[name] = ready
+
+    def _snapshot(self) -> _Snapshot:
+        return _Snapshot(
+            regs=dict(self.regs),
+            ready=dict(self.ready),
+            index=self.index,
+            retired=self.retired,
+        )
+
+    def _restore(self, snap: _Snapshot) -> None:
+        self.regs.clear()
+        self.regs.update(snap.regs)
+        self.ready = dict(snap.ready)
+        self.index = snap.index
+        self.retired = snap.retired
+
+    def _translate(self, vaddr: int, access: Perm) -> int:
+        return self.kernel.translate(self.process, vaddr, access, self.thread)
+
+    def _ipa_of_instruction(self, index: int) -> int:
+        iva = self.program.iva(index)
+        paddr = self.process.address_space.translate_nofault(iva)
+        if paddr is None:
+            raise SegmentationFault(iva, access="execute")
+        return paddr
+
+    def _hash(self, ipa: int) -> int:
+        return ipa_hash(ipa, self.thread.unit.hash_salt)
+
+    def _in_speculative_context(self) -> bool:
+        if self.window is not None:
+            return True
+        return any(
+            record.snapshot is not None
+            for entry in self.thread.store_queue.entries()
+            for record in entry.speculated_loads
+        )
+
+    def _sq_horizon(self) -> int:
+        entries = self.thread.store_queue.entries()
+        return max(
+            [self.dispatch]
+            + [e.addr_ready for e in entries]
+            + [e.data_ready for e in entries]
+        )
+
+    def _noisy(self, cycles: int) -> int:
+        noise = self.core.model.timer_noise
+        if not noise:
+            return cycles
+        jitter = self.core.rng.uniform(-noise, noise)
+        return max(0, round(cycles * (1.0 + jitter)))
+
+    # ------------------------------------------------------------------
+    # Memory views (store-queue overlay)
+    # ------------------------------------------------------------------
+    def _merged_read(
+        self, seq: int, paddr: int, width: int, now: int, include_unresolved: bool
+    ) -> int:
+        """Memory bytes overlaid with older uncommitted stores.
+
+        Unresolved stores (address not generated by ``now``) cannot
+        forward; a bypassing load reads around them — the stale read that
+        Spectre-CTL exploits.
+        """
+        data = bytearray(self.core.memory.read(paddr, width))
+        for entry in self.thread.store_queue.older_than(seq):
+            if not include_unresolved and entry.addr_ready > now:
+                continue
+            if entry.overlaps(paddr, width):
+                lo = max(paddr, entry.paddr)
+                hi = min(paddr + width, entry.paddr + entry.size)
+                data[lo - paddr : hi - paddr] = entry.data[
+                    lo - entry.paddr : hi - entry.paddr
+                ]
+        return int.from_bytes(bytes(data), "little")
+
+    @staticmethod
+    def _forward_value(entry: StoreEntry, width: int) -> int:
+        return int.from_bytes(entry.data[:width].ljust(width, b"\x00"), "little")
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def execute(self, max_steps: int) -> RunResult:
+        steps = 0
+        while not self.halted:
+            steps += 1
+            if steps > max_steps:
+                raise SimulationLimitExceeded(
+                    f"program {self.program.name!r} exceeded {max_steps} steps"
+                )
+            self.step()
+        return self.finalize()
+
+    def step(self) -> bool:
+        """Advance by one scheduling decision; returns False once halted.
+
+        Exposed so an SMT runner can interleave two hardware threads'
+        executions instruction by instruction.
+        """
+        if self.halted:
+            return False
+        if self.window is not None and (
+            self.dispatch >= self.window.stop or self.index >= len(self.program)
+        ):
+            self._close_window()
+            return not self.halted
+        if self._resolve_stores(self.dispatch):
+            return True  # a squash rewound the state
+        if self.index >= len(self.program):
+            if not self._quiesce():
+                self.halted = True
+            return not self.halted
+        self._dispatch_one(self.program.instructions[self.index])
+        return not self.halted
+
+    def finalize(self) -> RunResult:
+        frontier = max([self.dispatch] + list(self.ready.values()) + [self._sq_horizon()])
+        self.thread.store_queue.drain(self.core.memory)
+        self.thread.pmc.add(PmcEvent.RETIRED_OPS, self.retired)
+        self.result.cycles = frontier
+        self.result.retired = self.retired
+        return self.result
+
+    def _commit_ceiling(self) -> int | None:
+        """Stores younger than an open window's base must never commit."""
+        return self.window.base_seq if self.window is not None else None
+
+    def _quiesce(self) -> bool:
+        """Resolve every pending store at end of program/fence.
+
+        Returns True when a squash rewound execution (caller re-loops).
+        """
+        horizon = self._sq_horizon()
+        if self._resolve_stores(horizon):
+            return True
+        self.dispatch = max(self.dispatch, horizon)
+        self.thread.store_queue.commit_ready(
+            self.core.memory, self.dispatch, self._commit_ceiling()
+        )
+        return False
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _dispatch_one(self, instruction) -> None:
+        if isinstance(instruction, Label):
+            self.index += 1
+            return  # zero-size, zero-time
+        self.thread.pmc.add(PmcEvent.ITLB_HIT_4K)
+        d = self.dispatch
+        if isinstance(instruction, Halt):
+            if self.window is not None:
+                # A wrong path ran into Halt: fast-forward to the window's
+                # resolve point; the main loop will squash it.
+                self.dispatch = max(self.dispatch, self.window.stop)
+                return
+            self.retired += 1
+            if not self._quiesce():
+                self.halted = True
+            return
+        if isinstance(instruction, Jz):
+            self._exec_branch(instruction, d)
+            return  # the branch manages index/dispatch itself
+        if isinstance(instruction, Mfence):
+            before = self.index
+            self._exec_mfence()
+            if self.index != before:
+                return  # a squash rewound us; the fence will re-execute
+            self.retired += 1
+            self.index += 1
+            self.dispatch = max(self.dispatch, d + 1)
+            return
+        if isinstance(instruction, Load):
+            self._exec_load(instruction, d)
+        elif isinstance(instruction, Store):
+            self._exec_store(instruction, d)
+        elif isinstance(instruction, Pad):
+            pass
+        elif isinstance(instruction, MovImm):
+            self._set_reg(instruction.dst, instruction.value, d)
+        elif isinstance(instruction, Mov):
+            self._set_reg(
+                instruction.dst,
+                self._reg(instruction.src),
+                max(d, self._ready_of(instruction.src)),
+            )
+        elif isinstance(instruction, (Alu, AluImm)):
+            self._exec_alu(instruction, d)
+        elif isinstance(instruction, (Imul, ImulImm)):
+            self._exec_imul(instruction, d)
+        elif isinstance(instruction, Rdpru):
+            frontier = max([d] + list(self.ready.values()))
+            self._set_reg(
+                instruction.dst, self.thread.cycles + self._noisy(frontier), d
+            )
+        elif isinstance(instruction, Clflush):
+            vaddr = (self._reg(instruction.base) + instruction.offset) & _U64
+            paddr = self._translate(vaddr, Perm.R)
+            self.core.hierarchy.clflush(paddr)
+        else:
+            raise InvalidInstruction(f"unhandled instruction {instruction!r}")
+        self.retired += 1
+        self.index += 1
+        self.dispatch = d + 1
+
+    def _exec_alu(self, instruction, d: int) -> None:
+        if isinstance(instruction, Alu):
+            a, b = self._reg(instruction.a), self._reg(instruction.b)
+            start = max(d, self._ready_of(instruction.a, instruction.b))
+        else:
+            a, b = self._reg(instruction.src), instruction.imm
+            start = max(d, self._ready_of(instruction.src))
+        op = instruction.op
+        if op == "add":
+            value = a + b
+        elif op == "sub":
+            value = a - b
+        elif op == "xor":
+            value = a ^ b
+        elif op == "and":
+            value = a & b
+        elif op == "or":
+            value = a | b
+        else:
+            raise InvalidInstruction(f"unknown ALU op {op!r}")
+        self._set_reg(instruction.dst, value, start + self.lat.alu)
+
+    def _exec_imul(self, instruction, d: int) -> None:
+        if isinstance(instruction, Imul):
+            value = self._reg(instruction.a) * self._reg(instruction.b)
+            start = max(d, self._ready_of(instruction.a, instruction.b))
+        else:
+            value = self._reg(instruction.src) * instruction.imm
+            start = max(d, self._ready_of(instruction.src))
+        self._set_reg(instruction.dst, value, start + self.lat.imul)
+
+    def _exec_mfence(self) -> None:
+        horizon = max(self._sq_horizon(), self._ready_of(*self.ready))
+        if self._resolve_stores(horizon):
+            return
+        self.dispatch = max(self.dispatch, horizon)
+        self.thread.store_queue.commit_ready(
+            self.core.memory, self.dispatch, self._commit_ceiling()
+        )
+
+    # ------------------------------------------------------------------
+    # Stores
+    # ------------------------------------------------------------------
+    def _exec_store(self, instruction: Store, d: int) -> None:
+        vaddr = (self._reg(instruction.base) + instruction.offset) & _U64
+        paddr = self._translate(vaddr, Perm.W)
+        addr_ready = max(d, self._ready_of(instruction.base)) + self.lat.alu
+        data_ready = max(d, self._ready_of(instruction.src))
+        value = self._reg(instruction.src)
+        self.seq += 1
+        self.thread.store_queue.push(
+            StoreEntry(
+                seq=self.seq,
+                paddr=paddr,
+                size=instruction.width,
+                data=value.to_bytes(8, "little")[: instruction.width],
+                addr_ready=addr_ready,
+                data_ready=data_ready,
+                store_ipa=self._ipa_of_instruction(self.index),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Loads
+    # ------------------------------------------------------------------
+    def _exec_load(self, instruction: Load, d: int) -> None:
+        self.thread.pmc.add(PmcEvent.LD_DISPATCH)
+        vaddr = (self._reg(instruction.base) + instruction.offset) & _U64
+        addr_ready = max(d, self._ready_of(instruction.base)) + self.lat.alu
+        try:
+            paddr = self._translate(vaddr, Perm.R)
+        except SegmentationFault as fault:
+            self._faulting_load(instruction, addr_ready, fault)
+            return
+
+        self.seq += 1
+        load_seq = self.seq
+        pending = self.thread.store_queue.nearest_unresolved(load_seq, addr_ready)
+        load_ipa = self._ipa_of_instruction(self.index)
+
+        if pending is None:
+            self._plain_load(instruction, load_seq, paddr, addr_ready)
+            return
+
+        # A load racing an unresolved older store: consult the predictors.
+        store_hash = self._hash(pending.store_ipa)
+        load_hash = self._hash(load_ipa)
+        prediction = self.thread.unit.predict(store_hash, load_hash)
+        truth = pending.overlaps(paddr, instruction.width)
+        covers = pending.covers(paddr, instruction.width)
+
+        # Other unresolved older stores the load will read around: if any
+        # aliases, the bypass/forward result is wrong no matter what the
+        # (nearest-store) prediction said — a memory-ordering violation.
+        aliasing_others = [
+            entry
+            for entry in self.thread.store_queue.unresolved_older(
+                load_seq, addr_ready
+            )
+            if entry is not pending and entry.overlaps(paddr, instruction.width)
+        ]
+
+        will_squash = (
+            (prediction.aliasing and prediction.psf_forward and not covers)
+            or (not prediction.aliasing and truth)
+            or (not (prediction.aliasing and not prediction.psf_forward)
+                and bool(aliasing_others))
+        )
+        snapshot = self._snapshot() if will_squash else None
+
+        if prediction.aliasing and prediction.psf_forward:
+            # Predictive store forwarding (type C right / D wrong).
+            value = self._forward_value(pending, instruction.width)
+            complete = max(addr_ready, pending.data_ready) + self.lat.sq_forward
+            self.thread.pmc.add(PmcEvent.STLF)
+        elif prediction.aliasing:
+            # Stall until the store's address generation (A/B/E/F).
+            stall_until = max(addr_ready, pending.addr_ready)
+            self.thread.pmc.add(
+                PmcEvent.SQ_STALL_TOKENS, max(0, pending.addr_ready - addr_ready)
+            )
+            if truth:
+                value = self._merged_read(
+                    load_seq, paddr, instruction.width, stall_until, True
+                )
+                complete = max(stall_until, pending.data_ready) + self.lat.sq_forward
+                self.thread.pmc.add(PmcEvent.STLF)
+            else:
+                latency, _ = self.core.hierarchy.load(paddr)
+                value = self._merged_read(
+                    load_seq, paddr, instruction.width, stall_until, False
+                )
+                complete = stall_until + latency + self.lat.post_stall_replay
+        else:
+            # Speculative store bypass: stale read around the store (H/G).
+            latency, _ = self.core.hierarchy.load(paddr)
+            value = self._merged_read(
+                load_seq, paddr, instruction.width, addr_ready, False
+            )
+            complete = addr_ready + latency
+
+        record = _SpecLoad(
+            load_seq=load_seq,
+            load_index=self.index,
+            load_ipa=load_ipa,
+            load_hash=load_hash,
+            store_hash=store_hash,
+            paddr=paddr,
+            width=instruction.width,
+            prediction=prediction,
+            truth=truth,
+            covers=covers,
+            snapshot=snapshot,
+        )
+        pending.speculated_loads.append(record)
+        if not (prediction.aliasing and not prediction.psf_forward):
+            # Bypass and PSF paths read around *every* unresolved store;
+            # attach a guard to each aliasing one so its resolution
+            # squashes the load even though the nearest-store prediction
+            # was "right".  (The stall path reads the final merged value,
+            # so it needs no guards.)
+            for entry in aliasing_others:
+                entry.speculated_loads.append(
+                    _SpecLoad(
+                        load_seq=load_seq,
+                        load_index=self.index,
+                        load_ipa=load_ipa,
+                        load_hash=load_hash,
+                        store_hash=store_hash,
+                        paddr=paddr,
+                        width=instruction.width,
+                        prediction=prediction,
+                        truth=True,
+                        covers=entry.covers(paddr, instruction.width),
+                        snapshot=snapshot,
+                        guard=True,
+                    )
+                )
+        self._set_reg(instruction.dst, value, complete)
+
+    def _plain_load(
+        self, instruction: Load, load_seq: int, paddr: int, addr_ready: int
+    ) -> None:
+        forwarding = self.thread.store_queue.forwarding_store(
+            load_seq, paddr, instruction.width, addr_ready
+        )
+        value = self._merged_read(load_seq, paddr, instruction.width, addr_ready, False)
+        if forwarding is not None and forwarding.covers(paddr, instruction.width):
+            complete = max(addr_ready, forwarding.data_ready) + self.lat.sq_forward
+            self.thread.pmc.add(PmcEvent.STLF)
+        else:
+            latency, _ = self.core.hierarchy.load(paddr)
+            complete = addr_ready + latency
+        self._set_reg(instruction.dst, value, complete)
+
+    def _faulting_load(
+        self, instruction: Load, addr_ready: int, fault: SegmentationFault
+    ) -> None:
+        """A faulting load: younger work runs transiently until the fault
+        delivers at retire.  AMD does not forward faulting-load data, so
+        the destination reads as zero (never secret-bearing)."""
+        if self._in_speculative_context():
+            # Fault inside an existing window: suppressed entirely.
+            self._set_reg(instruction.dst, 0, addr_ready + self.lat.l1_hit)
+            return
+        self.window = _TransientWindow(
+            stop=addr_ready + FAULT_WINDOW,
+            snapshot=self._snapshot(),
+            resume_index=self.index,  # unused for faults
+            base_seq=self.seq,
+            fault=fault,
+        )
+        self._set_reg(instruction.dst, 0, addr_ready + self.lat.l1_hit)
+
+    # ------------------------------------------------------------------
+    # Branches
+    # ------------------------------------------------------------------
+    def _exec_branch(self, instruction: Jz, d: int) -> None:
+        iva = self.program.iva(self.index)
+        taken = self._reg(instruction.cond) == 0
+        predicted = self.pipe.predict_branch(iva)
+        resolve = max(d, self._ready_of(instruction.cond)) + self.lat.alu
+        self.pipe.train_branch(iva, taken)
+        target = self.program.label_index(instruction.label)
+        fallthrough = self.index + 1
+        self.retired += 1
+        if predicted == taken or self.window is not None:
+            # Correct prediction — or a nested mispredict inside an open
+            # window (single-level wrong-path model): follow the truth.
+            self.index = target if taken else fallthrough
+            self.dispatch = d + 1
+            return
+        # Mispredicted: run the wrong path transiently until resolution.
+        self.window = _TransientWindow(
+            stop=resolve,
+            snapshot=self._snapshot(),
+            resume_index=target if taken else fallthrough,
+            base_seq=self.seq,
+        )
+        self.index = target if predicted else fallthrough  # wrong path
+        self.dispatch = d + 1
+
+    # ------------------------------------------------------------------
+    # Squash machinery
+    # ------------------------------------------------------------------
+    def _train_squashed_records(self, after_load_seq: int, now: int) -> None:
+        """Vulnerability 4: predictor updates from executed-but-squashed
+        store-load pairs are applied before the pairs die."""
+        for entry in self.thread.store_queue.entries():
+            keep = []
+            for record in entry.speculated_loads:
+                if record.load_seq > after_load_seq:
+                    if not record.guard:
+                        self._apply_predictor_update(entry, record, now)
+                else:
+                    keep.append(record)
+            entry.speculated_loads = keep
+
+    def _apply_predictor_update(
+        self, entry: StoreEntry, record: _SpecLoad, now: int
+    ) -> ExecType:
+        result = self.thread.unit.access(
+            record.store_hash, record.load_hash, record.truth
+        )
+        self.result.events.append(
+            StldEvent(
+                exec_type=result.exec_type,
+                store_ipa=entry.store_ipa,
+                load_ipa=record.load_ipa,
+                cycle=now,
+            )
+        )
+        return result.exec_type
+
+    def _close_window(self) -> None:
+        """A branch/fault window reached its resolve point: squash it."""
+        assert self.window is not None
+        window, self.window = self.window, None
+        self._train_squashed_records(window.base_seq, window.stop)
+        self.thread.store_queue.squash_younger(window.base_seq)
+        self._restore(window.snapshot)
+        self.dispatch = window.stop + self.lat.rollback
+        self.result.rollbacks += 1
+        self.thread.pmc.add(PmcEvent.ROLLBACK)
+        if window.fault is None:
+            self.index = window.resume_index
+            return
+        handler = window.fault and self.program._labels.get("fault_handler")
+        if handler is None:
+            self.result.fault = window.fault
+            self.result.cycles = self.dispatch
+            self.result.retired = self.retired
+            self.thread.store_queue.squash_younger(window.base_seq)
+            self.halted = True
+            raise window.fault
+        self.index = handler
+
+    def _resolve_stores(self, now: int) -> bool:
+        """Process stores whose address generation completed by ``now``.
+
+        Applies the TABLE I update for every speculated load of every
+        resolved store (in program order), then squashes from the first
+        load whose speculation turned out wrong.  Returns True when a
+        squash rewound the pipeline.
+        """
+        for entry in list(self.thread.store_queue.entries()):
+            if entry.addr_ready > now or not entry.speculated_loads:
+                continue
+            records, entry.speculated_loads = entry.speculated_loads, []
+            squashing: _SpecLoad | None = None
+            for record in records:
+                if record.guard:
+                    wrong = True  # guards are only attached when aliasing
+                else:
+                    exec_type = self._apply_predictor_update(entry, record, now)
+                    wrong = exec_type.rollback or (
+                        exec_type is ExecType.C and not record.covers
+                    )
+                if squashing is None and wrong and record.snapshot is not None:
+                    squashing = record
+            if squashing is not None:
+                self._squash_from(squashing, entry, now)
+                return True
+        self.thread.store_queue.commit_ready(
+            self.core.memory, now, self._commit_ceiling()
+        )
+        return False
+
+    def _squash_from(self, record: _SpecLoad, entry: StoreEntry, now: int) -> None:
+        """Roll back to the mispredicted load and replay it correctly."""
+        self._train_squashed_records(record.load_seq, now)
+        self.thread.store_queue.squash_younger(record.load_seq)
+        if self.window is not None and record.load_seq <= self.window.base_seq:
+            # The branch (or faulting load) that opened the window sits
+            # *after* the load we are rewinding to: its window context is
+            # stale — the instruction will re-execute and re-open it.
+            # Leaving it armed would later "close" onto wrong-path state.
+            self.window = None
+        assert record.snapshot is not None
+        self._restore(record.snapshot)
+        penalty = self.lat.rollback
+        if record.prediction.psf_forward:
+            penalty += self.lat.psf_rollback_extra
+        self.dispatch = max(now, entry.addr_ready) + penalty
+        self.result.rollbacks += 1
+        self.thread.pmc.add(PmcEvent.ROLLBACK)
+        # The store is resolved by now (addr_ready <= dispatch), so the
+        # replayed load will not re-speculate against it.

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A simulation component was configured with inconsistent parameters."""
+
+
+class SegmentationFault(ReproError):
+    """A simulated access touched an unmapped or forbidden virtual address.
+
+    Mirrors a SIGSEGV delivered by the simulated kernel.  The faulting
+    address and the access kind are preserved for fault-injection tests.
+    """
+
+    def __init__(self, address: int, access: str = "load") -> None:
+        super().__init__(f"segmentation fault: {access} at {address:#x}")
+        self.address = address
+        self.access = access
+
+
+class ProtectionFault(SegmentationFault):
+    """A simulated access violated page permissions (mapped but forbidden)."""
+
+
+class InvalidInstruction(ReproError):
+    """The simulated core decoded an instruction it does not implement."""
+
+
+class SimulationLimitExceeded(ReproError):
+    """A simulated program ran past its instruction or cycle budget."""
+
+
+class AttackError(ReproError):
+    """An attack primitive could not complete (e.g. no collision found)."""
+
+
+class CollisionNotFound(AttackError):
+    """Code sliding exhausted its search space without finding a collision."""

@@ -1,0 +1,10 @@
+"""Experiment drivers: one module per paper table/figure (DESIGN.md E1-E17).
+
+Run them via the ``repro-experiments`` CLI
+(:mod:`repro.experiments.runner`) or import the modules directly; every
+driver returns an :class:`repro.experiments.base.ExperimentResult`.
+"""
+
+from repro.experiments.base import ExperimentResult, format_table
+
+__all__ = ["ExperimentResult", "format_table"]

@@ -1,0 +1,61 @@
+"""Experiment infrastructure: structured results and table rendering.
+
+Every experiment driver returns an :class:`ExperimentResult` whose rows
+regenerate the corresponding paper table or figure series; the runner
+(:mod:`repro.experiments.runner`) renders them as text tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["ExperimentResult", "format_table"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Plain-text table with column alignment."""
+    grid = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in grid)) if grid else len(headers[col])
+        for col in range(len(headers))
+    ]
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    rule = "  ".join("-" * width for width in widths)
+    return "\n".join([line(list(headers)), rule] + [line(row) for row in grid])
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one paper-artifact reproduction."""
+
+    experiment_id: str           # e.g. "fig2", "table1"
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    paper_claim: str = ""
+    #: Free-form measured summary values keyed by name (for EXPERIMENTS.md).
+    metrics: dict[str, float | str] = field(default_factory=dict)
+
+    def add_row(self, *cells) -> None:
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        if self.paper_claim:
+            parts.append(f"paper claim: {self.paper_claim}")
+        parts.append(format_table(self.headers, self.rows))
+        if self.metrics:
+            parts.append(
+                "metrics: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(self.metrics.items()))
+            )
+        parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)

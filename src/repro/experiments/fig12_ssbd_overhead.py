@@ -1,0 +1,34 @@
+"""E15 — Fig 12: SSBD performance overhead on SPEC2017-like workloads."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.mitigations.ssbd import ssbd_overhead
+
+__all__ = ["run"]
+
+
+def run(operations: int = 300, repetitions: int = 3) -> ExperimentResult:
+    timings = ssbd_overhead(operations=operations, repetitions=repetitions)
+    result = ExperimentResult(
+        experiment_id="fig12",
+        title="Performance evaluation of SSBD on SPEC2017-like workloads",
+        headers=["benchmark", "baseline cycles", "SSBD cycles", "overhead"],
+        paper_claim=(
+            "significant overhead for most benchmarks; perlbench and "
+            "exchange2 exceed 20%"
+        ),
+    )
+    for name, timing in timings.items():
+        result.add_row(
+            name,
+            timing.baseline_cycles,
+            timing.ssbd_cycles,
+            f"{timing.overhead:.1%}",
+        )
+    exceeding = [n for n, t in timings.items() if t.overhead > 0.20]
+    result.metrics["benchmarks_over_20pct"] = ", ".join(sorted(exceeding))
+    result.metrics["mean_overhead"] = round(
+        sum(t.overhead for t in timings.values()) / len(timings), 4
+    )
+    return result

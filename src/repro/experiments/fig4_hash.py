@@ -1,0 +1,47 @@
+"""E4 — Fig 4 / Section III-C.2: recovering the selection hash.
+
+Collect colliding IPA pairs (the PTEditor-assisted phase: place stld
+copies, record which load IPAs select the same entry), observe the
+stride-12 XOR regularity of Fig 4, and recover the fold hash.
+"""
+
+from __future__ import annotations
+
+from repro.core.hashfn import HASH_BITS, xor_profile
+from repro.experiments.base import ExperimentResult
+from repro.revng.hash_recovery import (
+    collect_colliding_pairs,
+    infer_stride,
+    recover_fold_hash,
+)
+
+__all__ = ["run", "collect_colliding_pairs"]
+
+
+def run(count: int = 64, seed: int = 4) -> ExperimentResult:
+    pairs = collect_colliding_pairs(count=count, seed=seed)
+    stride = infer_stride(pairs)
+    recovered = recover_fold_hash(pairs)
+    zero_profiles = sum(
+        xor_profile(a, b) == [0] * HASH_BITS for a, b in pairs
+    )
+
+    result = ExperimentResult(
+        experiment_id="fig4",
+        title="Mathematical characteristics of colliding address pairs",
+        headers=["quantity", "measured", "paper"],
+        paper_claim=(
+            "colliding pairs share XOR parity in bit groups at stride 12; "
+            "the hash is 12 XORs over 4 bits each"
+        ),
+    )
+    result.add_row("colliding pairs analysed", len(pairs), "many")
+    result.add_row(
+        "pairs with all-zero stride-12 XOR profile",
+        f"{zero_profiles}/{len(pairs)}", "all",
+    )
+    result.add_row("inferred fold stride", stride, "12")
+    result.add_row("recovered hash verified", recovered == 12, "yes")
+    result.metrics["stride"] = stride
+    result.metrics["profile_consistency"] = zero_profiles / len(pairs)
+    return result

@@ -1,0 +1,103 @@
+"""Experiment registry and CLI runner.
+
+``repro-experiments --list`` shows every table/figure reproduction;
+``repro-experiments fig2 table1`` runs a selection; no arguments runs
+the quick set (everything but the long leak campaigns).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.experiments import (
+    attack_evals,
+    fig2_exec_types,
+    fig4_hash,
+    fig5_eviction,
+    fig7_collisions,
+    fig11_fingerprint,
+    fig12_ssbd_overhead,
+    sec3_selection,
+    sec4_isolation,
+    sec4_transient,
+    sec5_extensions,
+    sec6_mitigations,
+    table1_state_machine,
+    table2_counters,
+    table3_platforms,
+    table4_comparison,
+)
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "QUICK_SET", "run_experiment", "main"]
+
+#: name -> (driver, paper artifact, rough cost)
+EXPERIMENTS: dict[str, tuple[Callable[[], ExperimentResult], str, str]] = {
+    "fig2": (fig2_exec_types.run, "Fig 2", "fast"),
+    "table1": (table1_state_machine.run, "TABLE I", "fast"),
+    "sec3-selection": (sec3_selection.run, "Section III-C.1", "fast"),
+    "fig4": (fig4_hash.run, "Fig 4", "fast"),
+    "table2": (table2_counters.run, "TABLE II", "fast"),
+    "fig5": (fig5_eviction.run, "Fig 5", "medium"),
+    "sec4-isolation": (sec4_isolation.run, "Section IV-A", "fast"),
+    "fig7": (fig7_collisions.run, "Fig 7", "medium"),
+    "sec4-transient": (sec4_transient.run, "Figs 8-9", "fast"),
+    "spectre-stl": (attack_evals.run_stl, "Section V-B", "slow"),
+    "spectre-ctl": (attack_evals.run_ctl, "Section V-C.1", "slow"),
+    "spectre-ctl-web": (attack_evals.run_web, "Section V-C.2", "slow"),
+    "attack-comparison": (attack_evals.run_all, "Section V", "slow"),
+    "fig11": (fig11_fingerprint.run, "Fig 11", "slow"),
+    "fig12": (fig12_ssbd_overhead.run, "Fig 12", "fast"),
+    "table3": (table3_platforms.run, "TABLE III", "slow"),
+    "table4": (table4_comparison.run, "TABLE IV", "medium"),
+    "sec6-mitigations": (sec6_mitigations.run, "Section VI", "slow"),
+    "covert-channel": (sec5_extensions.run_covert_channel, "Section IV-D", "medium"),
+    "stl-inplace": (sec5_extensions.run_stl_inplace, "Section V-B", "slow"),
+    "address-leak": (sec5_extensions.run_address_leak, "Section V-D", "medium"),
+}
+
+#: Default selection: everything that completes within a couple minutes.
+QUICK_SET = [
+    name for name, (_, _, cost) in EXPERIMENTS.items() if cost != "slow"
+]
+
+
+def run_experiment(name: str) -> ExperimentResult:
+    try:
+        driver, _, _ = EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(EXPERIMENTS)
+        raise SystemExit(f"unknown experiment {name!r}; known: {known}") from None
+    return driver()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the paper's tables and figures on the simulator.",
+    )
+    parser.add_argument("names", nargs="*", help="experiments to run")
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument("--all", action="store_true", help="run everything")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, (_, artifact, cost) in EXPERIMENTS.items():
+            print(f"{name:20s} {artifact:18s} [{cost}]")
+        return 0
+
+    names = args.names or (list(EXPERIMENTS) if args.all else QUICK_SET)
+    for name in names:
+        started = time.time()
+        result = run_experiment(name)
+        print(result.render())
+        print(f"[{name} completed in {time.time() - started:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""E5 — TABLE II: which IPA selects which counter?
+
+The paper runs annotated stld sequences (:math:`n_x^y` — load hash x,
+store hash y) and concludes that C0/C1/C2 are selected by *both* hashed
+IPAs (they live in PSFP) while C3/C4 are selected by the load's hash
+alone (they live in SSBP).  We reproduce the decisive probes:
+
+* after training the base pair, probes with a different load *or* store
+  hash see fresh C0/C1/C2 (type H, no PSF);
+* a charged C3 is visible through any store hash sharing the load hash
+  (type F), and invisible through a different load hash;
+* the TABLE II C4 row verbatim: three out-of-place G events (different
+  store hash) charge the base load's C3 — ``phi(35n) = (15F, 20H)``.
+"""
+
+from __future__ import annotations
+
+from repro.core.exec_types import ExecType
+from repro.experiments.base import ExperimentResult
+from repro.revng.sequences import format_types
+from repro.revng.stld import StldHarness
+
+__all__ = ["run"]
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="table2",
+        title="Counter organization: IPA dependence of C0..C4",
+        headers=["counter", "probe", "observed", "conclusion", "matches paper"],
+        paper_claim=(
+            "C0, C1, C2 selected by store AND load IPA (PSFP); "
+            "C3, C4 by the load IPA only (SSBP)"
+        ),
+    )
+
+    # ------------------------------------------------------- C0/C1/C2
+    harness = StldHarness()
+    harness.run_events("7n, a")          # trains the (0,0) pair: C0=4
+    diff_store = harness.run_events("4n:0:1")
+    diff_load = harness.run_events("4n:1:0")
+    both_fresh = all(t is ExecType.H for t in diff_store + diff_load)
+    result.add_row(
+        "C0/C1/C2",
+        "n with different store or load hash",
+        f"{format_types(diff_store)} | {format_types(diff_load)}",
+        "selected by both IPAs" if both_fresh else "shared",
+        both_fresh,
+    )
+    same_pair = harness.run_events("4n")
+    trained_visible = same_pair[0] is ExecType.E
+    result.add_row(
+        "C0/C1/C2",
+        "n with the trained pair",
+        format_types(same_pair),
+        "trained state visible" if trained_visible else "lost",
+        trained_visible,
+    )
+
+    # ------------------------------------------------------------- C3
+    harness = StldHarness()
+    harness.run_events("7n, a, 7n, a, 7n, a")   # C3 = 15 at load hash 0
+    via_other_store = harness.run_events("6n:0:2")
+    shared_by_load = all(t is ExecType.F for t in via_other_store)
+    result.add_row(
+        "C3",
+        "n with same load, different store hash",
+        format_types(via_other_store),
+        "selected by load IPA only" if shared_by_load else "pair-selected",
+        shared_by_load,
+    )
+    via_other_load = harness.run_events("4n:2:0")
+    invisible_elsewhere = all(t is ExecType.H for t in via_other_load)
+    result.add_row(
+        "C3",
+        "n with different load hash",
+        format_types(via_other_load),
+        "not shared across loads" if invisible_elsewhere else "global",
+        invisible_elsewhere,
+    )
+
+    # ------------------------------------------------------------- C4
+    harness = StldHarness()
+    for store_id in (1, 2):
+        harness.run_events(f"7n:0:{store_id}, a:0:{store_id}")
+        harness.run_events("39n")
+    harness.run_events("7n:0:3, a:0:3")  # third G: C4 saturates, C3 <- 15
+    tail = harness.run_events("35n")
+    published = "15F, 20H"
+    got = format_types(tail)
+    result.add_row(
+        "C4",
+        "three out-of-place Gs, then phi(35n)",
+        got,
+        "accumulates per load IPA" if got == published else "unexpected",
+        got == published,
+    )
+
+    result.metrics["psfp_counters"] = "C0,C1,C2"
+    result.metrics["ssbp_counters"] = "C3,C4"
+    result.add_note(
+        "probes use ground-truth pipeline events; the timing classifier "
+        "reproduces them at >99.8% (table1 experiment)"
+    )
+    return result

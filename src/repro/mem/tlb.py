@@ -1,0 +1,55 @@
+"""A small data TLB model (translation timing, LRU replacement).
+
+Only timing flows from here: translations themselves are always answered
+by the OS page tables (:mod:`repro.osm.address_space`), and a TLB miss
+adds a page-walk penalty.  The kernel shoots down entries on unmap or
+remap so that the mprotect experiment of Section III-C.1 behaves: after
+the kernel moves a COW page, the *new* frame is what gets fetched.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["Tlb"]
+
+
+class Tlb:
+    """Fully associative VA-page -> PA-frame cache with LRU replacement."""
+
+    def __init__(self, entries: int = 64) -> None:
+        self.capacity = entries
+        self._map: OrderedDict[int, int] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, va_page: int) -> int | None:
+        """Return the cached frame for the page, or None on miss."""
+        frame = self._map.get(va_page)
+        if frame is None:
+            self.misses += 1
+            return None
+        self._map.move_to_end(va_page)
+        self.hits += 1
+        return frame
+
+    def fill(self, va_page: int, frame: int) -> None:
+        if va_page in self._map:
+            self._map.move_to_end(va_page)
+        elif len(self._map) >= self.capacity:
+            self._map.popitem(last=False)
+        self._map[va_page] = frame
+
+    def invalidate(self, va_page: int) -> None:
+        self._map.pop(va_page, None)
+
+    def flush(self) -> None:
+        """Full shootdown (address-space switch)."""
+        self._map.clear()
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._map)
+
+    def __repr__(self) -> str:
+        return f"Tlb(occupancy={self.occupancy}/{self.capacity})"

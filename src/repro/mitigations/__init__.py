@@ -1,0 +1,31 @@
+"""Mitigations (paper Section VI).
+
+* **SSBD** (:mod:`repro.mitigations.ssbd`) — serializes loads behind
+  stores; stops everything, at the Fig 12 performance cost.
+* **PSFD** — modeled faithfully as *ineffective*: the predictors keep
+  functioning with the bit set (see
+  :class:`repro.core.spec_ctrl.SpecCtrl` and Section VI-A).
+* **Flush SSBP on context switch** — ``Machine(flush_ssbp_on_switch=True)``;
+  stops cross-process SSBP attacks (Spectre-CTL, fingerprinting).
+* **Randomized selection** — ``Machine(resalt_on_switch=True)``; re-keys
+  the selection hash on every switch/syscall so code-sliding collisions
+  go stale, stopping out-of-place attacks.
+* **Secure timer** (:mod:`repro.mitigations.secure_timer`) — denies the
+  cycle resolution probing needs.
+"""
+
+from repro.mitigations.secure_timer import SecureTimer
+from repro.mitigations.ssbd import (
+    WorkloadTiming,
+    measure_workload,
+    ssbd_enabled,
+    ssbd_overhead,
+)
+
+__all__ = [
+    "SecureTimer",
+    "WorkloadTiming",
+    "measure_workload",
+    "ssbd_enabled",
+    "ssbd_overhead",
+]

@@ -1,0 +1,35 @@
+"""Security domains used in the isolation analysis (Section IV-A).
+
+The paper probes three pairs of domains: a user process in the host OS, a
+process inside a VM, and a kernel thread.  A domain is an attribute of a
+process; crossing domains in the simulation means scheduling a process of
+a different domain on the same hardware thread (or the sibling SMT
+thread) and observing what predictor state survives.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["SecurityDomain", "DOMAIN_PAIRS"]
+
+
+class SecurityDomain(enum.Enum):
+    """Where a process runs."""
+
+    USER = "user"
+    KERNEL = "kernel"
+    VM_GUEST = "vm-guest"
+
+    @property
+    def privileged(self) -> bool:
+        """Kernel threads may use PTEditor-like translation primitives."""
+        return self is SecurityDomain.KERNEL
+
+
+#: The three cross-domain pairs the paper evaluates.
+DOMAIN_PAIRS: tuple[tuple[SecurityDomain, SecurityDomain], ...] = (
+    (SecurityDomain.USER, SecurityDomain.USER),
+    (SecurityDomain.USER, SecurityDomain.KERNEL),
+    (SecurityDomain.USER, SecurityDomain.VM_GUEST),
+)

@@ -1,0 +1,92 @@
+"""Simulated processes.
+
+A process is an address space plus bookkeeping: pid, security domain,
+simple region allocators for code/data/mmap virtual ranges, and the
+scheduling state the kernel manipulates.  All memory operations go
+through the kernel so copy-on-write and permission checks behave.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ConfigError
+from repro.mem.physical import PAGE_SIZE
+from repro.osm.address_space import AddressSpace
+from repro.osm.domains import SecurityDomain
+
+__all__ = ["ProcessState", "Process", "CODE_BASE", "DATA_BASE", "MMAP_BASE"]
+
+CODE_BASE = 0x0000_0040_0000
+CODE_LIMIT = 0x0020_0000_0000
+DATA_BASE = 0x0020_0000_0000
+DATA_LIMIT = 0x7F00_0000_0000
+MMAP_BASE = 0x7F00_0000_0000
+MMAP_LIMIT = 0x8000_0000_0000
+
+
+class ProcessState(enum.Enum):
+    READY = "ready"
+    RUNNING = "running"
+    SLEEPING = "sleeping"
+    ZOMBIE = "zombie"
+
+
+class Process:
+    """One simulated process (or kernel thread / VM guest process)."""
+
+    def __init__(
+        self,
+        pid: int,
+        name: str,
+        domain: SecurityDomain = SecurityDomain.USER,
+    ) -> None:
+        self.pid = pid
+        self.name = name
+        self.domain = domain
+        self.address_space = AddressSpace()
+        self.state = ProcessState.READY
+        self.parent_pid: int | None = None
+        self._next_code = CODE_BASE
+        self._next_data = DATA_BASE
+        self._next_mmap = MMAP_BASE
+
+    @property
+    def privileged(self) -> bool:
+        return self.domain.privileged
+
+    # ------------------------------------------------------------------
+    # Virtual-range reservation (the kernel performs the actual mapping)
+    # ------------------------------------------------------------------
+    def reserve_range(self, pages: int, kind: str = "data") -> int:
+        """Reserve a page-aligned virtual range; returns its base address."""
+        if pages < 1:
+            raise ConfigError("a region needs at least one page")
+        if kind == "code":
+            base, self._next_code = self._next_code, self._next_code + pages * PAGE_SIZE
+            limit = CODE_LIMIT
+        elif kind == "data":
+            base, self._next_data = self._next_data, self._next_data + pages * PAGE_SIZE
+            limit = DATA_LIMIT
+        elif kind == "mmap":
+            base, self._next_mmap = self._next_mmap, self._next_mmap + pages * PAGE_SIZE
+            limit = MMAP_LIMIT
+        else:
+            raise ConfigError(f"unknown region kind: {kind!r}")
+        if base + pages * PAGE_SIZE > limit:
+            raise ConfigError(f"{kind} region exhausted its address window")
+        return base
+
+    def clone_layout_into(self, child: "Process") -> None:
+        """Give a forked child the same allocation cursors as the parent,
+        so identical post-fork allocations land at identical IVAs (the
+        copy-on-write experiment of Section III-C.1 depends on this)."""
+        child._next_code = self._next_code
+        child._next_data = self._next_data
+        child._next_mmap = self._next_mmap
+
+    def __repr__(self) -> str:
+        return (
+            f"Process(pid={self.pid}, name={self.name!r}, "
+            f"domain={self.domain.value}, state={self.state.value})"
+        )

@@ -1,0 +1,142 @@
+"""A one-call reverse-engineering campaign (the paper's Section III).
+
+:class:`ReverseEngineeringCampaign` composes the toolkit into the full
+black-box workflow and produces a :class:`PredictorDossier` — the set of
+facts the paper establishes about an unknown machine's speculative
+memory access predictors:
+
+* the timing levels and their separability;
+* state-machine agreement with the TABLE I model;
+* PSFP's entry count (abrupt eviction threshold);
+* SSBP's eviction profile (gradual curve);
+* the selection-hash fold stride.
+
+Intended use: point it at any :class:`repro.cpu.machine.Machine` —
+including one with altered predictor parameters — and see what a
+black-box analyst would conclude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.exec_types import TimingClass
+from repro.cpu.machine import Machine
+from repro.revng.hash_recovery import collect_colliding_pairs, infer_stride
+from repro.revng.organization import OrganizationExperiment
+from repro.revng.state_infer import ModelValidator
+from repro.revng.stld import StldHarness
+from repro.revng.timing import TimingClassifier
+
+__all__ = ["PredictorDossier", "ReverseEngineeringCampaign"]
+
+
+@dataclass
+class PredictorDossier:
+    """Everything the campaign concluded about the machine."""
+
+    timing_levels: dict[str, float] = field(default_factory=dict)
+    timing_margin: float = 0.0
+    model_agreement: float = 0.0
+    psf_present: bool = True
+    psfp_entries: int | None = None
+    ssbp_eviction_rates: dict[int, float] = field(default_factory=dict)
+    hash_stride: int | None = None
+
+    def summary(self) -> str:
+        lines = ["Predictor dossier:"]
+        lines.append(
+            "  predictive store forwarding: "
+            + ("present" if self.psf_present else "NOT present (SSB only)")
+        )
+        lines.append("  timing levels (cycles): " + ", ".join(
+            f"{name}={mean:.0f}"
+            for name, mean in sorted(self.timing_levels.items(), key=lambda kv: kv[1])
+        ))
+        lines.append(f"  smallest level gap: {self.timing_margin:.1f} cycles")
+        lines.append(f"  TABLE I model agreement: {self.model_agreement:.2%}")
+        lines.append(f"  PSFP entries (eviction threshold): {self.psfp_entries}")
+        lines.append("  SSBP eviction: " + ", ".join(
+            f"{size}->{rate:.0%}" for size, rate in sorted(self.ssbp_eviction_rates.items())
+        ))
+        lines.append(f"  selection hash: XOR fold at stride {self.hash_stride}")
+        return "\n".join(lines)
+
+
+class ReverseEngineeringCampaign:
+    """Runs the Section III workflow end to end on one machine."""
+
+    def __init__(self, machine: Machine | None = None) -> None:
+        self.machine = machine or Machine(seed=303)
+        self.harness = StldHarness(machine=self.machine)
+        self.classifier = TimingClassifier(self.harness)
+
+    def detect_psf(self) -> bool:
+        """Raw-timing PSF detector (the first thing the analyst asks):
+        after an aliasing mispredict, do sustained aliasing pairs ever
+        drop *below* the stall level?  Only a predictive forward can run
+        faster than waiting for the store's address generation."""
+        from repro.revng.sequences import StldToken
+
+        scratch = -777
+        token_n = StldToken(False, scratch, scratch)
+        token_a = StldToken(True, scratch, scratch)
+        bypass = min(self.harness.run_token(token_n) for _ in range(3))
+        for _ in range(4):  # train through the initial mispredicts
+            self.harness.run_token(token_a)
+        sustained = min(self.harness.run_token(token_a) for _ in range(10))
+        # A predictive forward completes near the bypass latency (the
+        # data moves before address generation); without PSF, sustained
+        # aliasing is pinned at the stall level, well above it.
+        return sustained < bypass * 1.2
+
+    def run(
+        self,
+        validation_sequences: int = 10,
+        psfp_sizes: tuple[int, ...] = (8, 10, 11, 12, 13),
+        ssbp_sizes: tuple[int, ...] = (8, 16, 32),
+        eviction_trials: int = 8,
+        collision_pairs: int = 48,
+    ) -> PredictorDossier:
+        dossier = PredictorDossier()
+        dossier.psf_present = self.detect_psf()
+
+        calibration = self.classifier.calibrate(
+            psf_supported=dossier.psf_present,
+            require_all=dossier.psf_present,
+        )
+        dossier.timing_levels = {
+            cls.name: mean for cls, mean in calibration.means.items()
+        }
+        dossier.timing_margin = self.classifier.margin()
+
+        if dossier.psf_present:
+            validator = ModelValidator(self.harness, self.classifier)
+            report = validator.validate_random(sequences=validation_sequences)
+            dossier.model_agreement = report.agreement
+
+        organization = OrganizationExperiment(self.harness, self.classifier)
+        if dossier.psf_present:
+            psfp_curve = organization.psfp_curve(
+                list(psfp_sizes), trials=eviction_trials
+            )
+            dossier.psfp_entries = psfp_curve.threshold(0.5)
+        ssbp_curve = organization.ssbp_curve(
+            list(ssbp_sizes), trials=max(eviction_trials, 12)
+        )
+        dossier.ssbp_eviction_rates = dict(ssbp_curve.rates)
+
+        pairs = collect_colliding_pairs(count=collision_pairs)
+        dossier.hash_stride = infer_stride(pairs)
+        return dossier
+
+    @property
+    def separable(self) -> bool:
+        """Whether timing probing is viable at all on this machine."""
+        if self.classifier.calibration is None:
+            return False
+        means = self.classifier.calibration.means
+        gap = abs(
+            means[TimingClass.BYPASS] - means[TimingClass.STALL_CACHE]
+        )
+        return gap > 2.0

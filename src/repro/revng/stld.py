@@ -1,0 +1,322 @@
+"""The stld microbenchmark (paper Listing 1) and its driving harness.
+
+``build_stld`` produces the paper's probe routine: a store whose address
+generation is delayed by a chain of 20 multiplies, immediately followed
+by a load, followed by a dependent consumer chain that amplifies the
+load's completion time into the routine's total time (the paper leans on
+execution-port pressure for the same amplification).
+
+:class:`StldHarness` drives stld variants on a :class:`Machine` exactly
+the way the paper drives them on silicon: it maps a data buffer, places
+stld copies at controlled instruction physical addresses (the privileged
+PTEditor-style placement used in the reverse-engineering phase), executes
+sequences like ``(7n, a)`` and reports per-invocation timings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.hashfn import collision_offset, ipa_hash
+from repro.cpu.isa import Halt, ImulImm, Load, Mov, Program, Store
+from repro.cpu.machine import Machine
+from repro.errors import CollisionNotFound, ConfigError
+from repro.mem.physical import PAGE_SHIFT, PAGE_SIZE
+from repro.osm.address_space import Perm
+from repro.osm.process import Process
+from repro.revng.sequences import StldToken, parse
+
+__all__ = [
+    "build_stld",
+    "load_instruction_index",
+    "store_instruction_index",
+    "StldVariant",
+    "StldHarness",
+]
+
+#: Registers of the stld routine (mirroring the paper's rdi/rsi usage).
+STORE_ADDR_REG = "rdi"
+LOAD_ADDR_REG = "rsi"
+DATA_REG = "rdx"
+
+_AGEN_IMULS = 20
+_CONSUMER_IMULS = 13
+
+
+def build_stld(
+    agen_imuls: int = _AGEN_IMULS, consumer_imuls: int = _CONSUMER_IMULS
+) -> Program:
+    """The probe routine: delayed store, racing load, consumer chain."""
+    instructions = [Mov("t0", STORE_ADDR_REG)]
+    instructions += [ImulImm("t0", "t0", 1)] * agen_imuls
+    instructions.append(Store(base="t0", src=DATA_REG, width=8))
+    instructions.append(Load("rax", base=LOAD_ADDR_REG, width=8))
+    instructions.append(Mov("acc", "rax"))
+    instructions += [ImulImm("acc", "acc", 1)] * consumer_imuls
+    instructions.append(Halt())
+    return Program(instructions, name="stld")
+
+
+def store_instruction_index(program: Program) -> int:
+    """Index of the (single) store inside an stld program."""
+    for index, instruction in enumerate(program.instructions):
+        if isinstance(instruction, Store):
+            return index
+    raise ConfigError("program has no store")
+
+
+def load_instruction_index(program: Program) -> int:
+    """Index of the (single) load inside an stld program."""
+    for index, instruction in enumerate(program.instructions):
+        if isinstance(instruction, Load):
+            return index
+    raise ConfigError("program has no load")
+
+
+@dataclass
+class StldVariant:
+    """One placed stld copy with its achieved predictor-selection hashes."""
+
+    program: Program
+    load_iva: int
+    store_iva: int
+    load_hash: int
+    store_hash: int
+
+
+class StldHarness:
+    """Drives stld microbenchmarks against the simulated machine."""
+
+    def __init__(
+        self,
+        machine: Machine | None = None,
+        process: Process | None = None,
+        aliasing_distance: int = 64,
+        thread_id: int = 0,
+    ) -> None:
+        self.machine = machine or Machine(seed=2024)
+        self.kernel = self.machine.kernel
+        self.thread_id = thread_id
+        self.process = process or self.kernel.create_process("revng")
+        self.aliasing_distance = aliasing_distance
+        buf = self.kernel.map_anonymous(self.process, pages=2)
+        #: The load always reads here; an aliasing store writes the same
+        #: address, a non-aliasing store writes ``aliasing_distance`` away
+        #: (the paper requires a difference greater than 4).
+        self.load_va = buf + 0x80
+        self.alias_store_va = self.load_va
+        self.disjoint_store_va = self.load_va + aliasing_distance
+        self._variants: dict[tuple[int, int], StldVariant] = {}
+        self._load_hash_by_id: dict[int, int] = {}
+        self._store_hash_by_id: dict[int, int] = {}
+        self._template = build_stld()
+        self._ensure_variant(StldToken(aliasing=False))  # the base stld
+        self._warm()
+
+    # ------------------------------------------------------------------
+    # Variant placement (privileged, PTEditor-style)
+    # ------------------------------------------------------------------
+    @property
+    def salt(self) -> int:
+        return self.machine.core.hash_salt
+
+    def variant(self, load_id: int = 0, store_id: int = 0) -> StldVariant:
+        return self._variants[(load_id, store_id)]
+
+    def forget_ids(self, ids: set[int]) -> None:
+        """Release id -> hash bindings (and their variants).
+
+        Experiments that need an endless supply of random-hash stlds
+        (e.g. fresh eviction sets per trial) recycle a bounded id range;
+        only 4096 distinct load hashes exist, so unbounded *unique* ids
+        would exhaust the space.
+        """
+        for key in [k for k in self._variants if k[0] in ids or k[1] in ids]:
+            del self._variants[key]
+        for mapping in (self._load_hash_by_id, self._store_hash_by_id):
+            for bound in [i for i in mapping if i in ids]:
+                del mapping[bound]
+
+    def _frame_of(self, vaddr: int) -> int:
+        mapping = self.process.address_space.mapping(vaddr >> PAGE_SHIFT)
+        assert mapping is not None
+        return mapping.frame
+
+    def _hashes_at(self, base_iva: int) -> tuple[int, int, int, int]:
+        program = self._template.relocate(base_iva)
+        load_iva = program.iva(load_instruction_index(program))
+        store_iva = program.iva(store_instruction_index(program))
+        load_ipa = self.process.address_space.translate_nofault(load_iva)
+        store_ipa = self.process.address_space.translate_nofault(store_iva)
+        assert load_ipa is not None and store_ipa is not None
+        return (
+            load_iva,
+            store_iva,
+            ipa_hash(load_ipa, self.salt),
+            ipa_hash(store_ipa, self.salt),
+        )
+
+    def _ensure_variant(self, token: StldToken) -> StldVariant:
+        key = (token.load_id, token.store_id)
+        cached = self._variants.get(key)
+        if cached is not None:
+            return cached
+        variant = self._place_variant(token.load_id, token.store_id)
+        self._variants[key] = variant
+        self._load_hash_by_id.setdefault(token.load_id, variant.load_hash)
+        self._store_hash_by_id.setdefault(token.store_id, variant.store_hash)
+        return variant
+
+    def _place_variant(
+        self, load_id: int, store_id: int, max_attempts: int = 20_000
+    ) -> StldVariant:
+        """Place an stld copy whose hashes honour the id constraints.
+
+        An id already bound to a hash is an *equality* constraint; a new
+        id must land on a hash different from every other id of that axis.
+        The in-page offset is the single degree of freedom, so an equality
+        constraint anchors the placement and everything else is verified
+        (retrying across fresh regions until it holds).
+        """
+        want_load = self._load_hash_by_id.get(load_id)
+        want_store = self._store_hash_by_id.get(store_id)
+        if want_load is not None and want_store is not None:
+            # With a fixed store->load byte distance the two hashes are
+            # linked: hash(store) = hash(load) ^ o ^ (o - distance) for
+            # the load's page offset o, which spans only a handful of
+            # values.  Arbitrary (load, store) hash pairs are therefore
+            # unreachable — the paper's Fig 7 finding that collisions
+            # require matching IPA distances.  Reuse an existing variant
+            # or pick a fresh id instead.
+            raise CollisionNotFound(
+                f"cannot satisfy two hash equalities at once "
+                f"(load_id={load_id}, store_id={store_id}): the fixed "
+                "store-load distance links the hashes (paper Fig 7)"
+            )
+        other_loads = {
+            h for i, h in self._load_hash_by_id.items() if i != load_id
+        }
+        other_stores = {
+            h for i, h in self._store_hash_by_id.items() if i != store_id
+        }
+        load_off = self._template.relocate(0).iva(
+            load_instruction_index(self._template)
+        )
+        store_off = self._template.relocate(0).iva(
+            store_instruction_index(self._template)
+        )
+        for _ in range(max_attempts):
+            region = self.kernel.map_anonymous(
+                self.process, pages=3, perms=Perm.RX, kind="code"
+            )
+            anchor_page = region + PAGE_SIZE  # middle page: room both ways
+            frame = self._frame_of(anchor_page)
+            if want_load is not None:
+                offset = collision_offset(want_load, frame, self.salt)
+                base_iva = anchor_page + offset - load_off
+            elif want_store is not None:
+                offset = collision_offset(want_store, frame, self.salt)
+                base_iva = anchor_page + offset - store_off
+            else:
+                base_iva = anchor_page
+            if base_iva < region or base_iva + self._template.byte_size > (
+                region + 3 * PAGE_SIZE
+            ):
+                continue
+            load_iva, store_iva, load_hash, store_hash = self._hashes_at(base_iva)
+            if want_load is not None and load_hash != want_load:
+                continue
+            if want_store is not None and store_hash != want_store:
+                continue
+            if want_load is None and load_hash in other_loads:
+                continue
+            if want_store is None and store_hash in other_stores:
+                continue
+            program = self.machine.place_program(
+                self.process, self._template, base_iva
+            )
+            return StldVariant(
+                program=program,
+                load_iva=load_iva,
+                store_iva=store_iva,
+                load_hash=load_hash,
+                store_hash=store_hash,
+            )
+        raise CollisionNotFound(
+            f"could not place stld variant (load_id={load_id}, store_id={store_id})"
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _warm(self) -> None:
+        """Warm the data lines with predictor-neutral runs (type H)."""
+        for _ in range(3):
+            self.run_token(StldToken(aliasing=False))
+
+    def regs_for(self, token: StldToken) -> dict[str, int]:
+        store_va = self.alias_store_va if token.aliasing else self.disjoint_store_va
+        return {
+            STORE_ADDR_REG: store_va,
+            LOAD_ADDR_REG: self.load_va,
+            DATA_REG: 0xDD,
+        }
+
+    def run_token(self, token: StldToken) -> int:
+        """Execute one stld; returns its (noisy) measured cycles."""
+        variant = self._ensure_variant(token)
+        result = self.machine.run(
+            self.process,
+            variant.program,
+            self.regs_for(token),
+            thread_id=self.thread_id,
+        )
+        return self._measure(result.cycles)
+
+    def run_token_with_pmc(self, token: StldToken) -> tuple[int, dict[str, int]]:
+        """Execute one stld; returns (cycles, per-event PMC deltas).
+
+        The deltas are counted organically by the pipeline (dispatches,
+        forwards, stall tokens, rollbacks) — the Fig 2 attribution
+        methodology.
+        """
+        thread = self.machine.core.thread(self.thread_id)
+        snapshot = thread.pmc.snapshot()
+        cycles = self.run_token(token)
+        return cycles, thread.pmc.delta_since(snapshot)
+
+    def _measure(self, cycles: int) -> int:
+        """RDPRU-style reading: the true cycle count plus bounded noise."""
+        noise = self.machine.core.model.timer_noise
+        if not noise:
+            return cycles
+        jitter = self.machine.core.rng.uniform(-noise, noise)
+        return max(0, round(cycles * (1.0 + jitter)))
+
+    def run_sequence(self, sequence: str | list[StldToken]) -> list[int]:
+        """Execute a sequence string like ``"7n, a"``; returns timings."""
+        tokens = parse(sequence) if isinstance(sequence, str) else sequence
+        return [self.run_token(token) for token in tokens]
+
+    def run_events(self, sequence: str | list[StldToken]):
+        """Oracle mode: execute a sequence and return the ground-truth
+        execution types recorded by the pipeline (one per stld)."""
+        tokens = parse(sequence) if isinstance(sequence, str) else sequence
+        types = []
+        for token in tokens:
+            variant = self._ensure_variant(token)
+            result = self.machine.run(
+                self.process,
+                variant.program,
+                self.regs_for(token),
+                thread_id=self.thread_id,
+            )
+            stld_events = [
+                event
+                for event in result.events
+                if event.load_ipa
+                == self.process.address_space.translate_nofault(variant.load_iva)
+            ]
+            assert len(stld_events) == 1, "stld must produce exactly one event"
+            types.append(stld_events[0].exec_type)
+        return types

@@ -1,0 +1,155 @@
+"""Timing-based execution-type classification (paper Section III-B).
+
+The paper identifies six execution-time levels and attributes them to the
+eight execution types.  :class:`TimingClassifier` reproduces the method:
+it drives scratch stld variants into *known* predictor states (verified
+against the TABLE I reference model), records the measured cycles of each
+known type, and derives per-class timing centroids.  Unknown measurements
+are then classified by nearest centroid.
+
+A and B (and E and F) are indistinguishable by time — the paper separates
+them with the inferred state machine, which
+:mod:`repro.revng.state_infer` models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.counters import CounterState
+from repro.core.exec_types import TIMING_CLASS, TimingClass
+from repro.core.state_machine import run_sequence as model_run
+from repro.errors import ReproError
+from repro.revng.sequences import StldToken, parse
+from repro.revng.stld import StldHarness
+
+__all__ = [
+    "CALIBRATION_SEQUENCE",
+    "CalibrationResult",
+    "CentroidClassifier",
+    "TimingClassifier",
+]
+
+#: A sequence that visits every timing class from a fresh entry:
+#: 3H, G, 4A, 5C, D, C, D (reaching Block), 3E, 2A.
+CALIBRATION_SEQUENCE = "3n, a, 4a, 5a, n, a, n, 3n, 2a"
+
+
+@dataclass
+class CalibrationResult:
+    """Per-class timing statistics gathered during calibration."""
+
+    samples: dict[TimingClass, list[int]] = field(default_factory=dict)
+
+    def add(self, timing_class: TimingClass, cycles: int) -> None:
+        self.samples.setdefault(timing_class, []).append(cycles)
+
+    @property
+    def means(self) -> dict[TimingClass, float]:
+        return {
+            cls: sum(values) / len(values)
+            for cls, values in self.samples.items()
+            if values
+        }
+
+    def spread(self, timing_class: TimingClass) -> float:
+        values = self.samples.get(timing_class, [])
+        if len(values) < 2:
+            return 0.0
+        mean = sum(values) / len(values)
+        return (sum((v - mean) ** 2 for v in values) / (len(values) - 1)) ** 0.5
+
+
+class CentroidClassifier:
+    """Nearest-centroid timing classification (the shared mechanism).
+
+    Both the privileged reverse-engineering classifier and the
+    unprivileged attacker classifier reduce to this: per-class timing
+    centroids learned from measurements of known states.
+    """
+
+    def __init__(self) -> None:
+        self.calibration: CalibrationResult | None = None
+        self._centroids: list[tuple[float, TimingClass]] = []
+
+    def fit(self, calibration: CalibrationResult) -> None:
+        self.calibration = calibration
+        # Sort by centroid only: a coarse timer can quantize two classes
+        # onto the same reading (their order is then arbitrary).
+        self._centroids = sorted(
+            ((mean, cls) for cls, mean in calibration.means.items()),
+            key=lambda pair: pair[0],
+        )
+
+    def classify(self, cycles: int) -> TimingClass:
+        """Nearest-centroid classification of one measurement."""
+        if not self._centroids:
+            raise ReproError("classifier is not calibrated; call calibrate()")
+        best = min(self._centroids, key=lambda pair: abs(pair[0] - cycles))
+        return best[1]
+
+    def classify_all(self, measurements: list[int]) -> list[TimingClass]:
+        return [self.classify(cycles) for cycles in measurements]
+
+    def margin(self) -> float:
+        """Smallest gap between adjacent class centroids (robustness)."""
+        if len(self._centroids) < 2:
+            return 0.0
+        return min(
+            self._centroids[i + 1][0] - self._centroids[i][0]
+            for i in range(len(self._centroids) - 1)
+        )
+
+
+class TimingClassifier(CentroidClassifier):
+    """Maps measured stld cycles to timing classes on a privileged harness."""
+
+    def __init__(self, harness: StldHarness) -> None:
+        super().__init__()
+        self.harness = harness
+
+    def calibrate(
+        self,
+        variants: int = 3,
+        psf_supported: bool = True,
+        require_all: bool = True,
+    ) -> CalibrationResult:
+        """Drive scratch stld variants through known states and record
+        each type's timing.  The scratch variants use private (negative)
+        hash ids so they cannot collide with experiment variants, and the
+        predictors are flushed afterwards (a ``sleep`` flushes both).
+
+        On a PSF-less core (Zen 2), pass ``psf_supported=False`` so the
+        expected labels follow the SSBP-only dynamics, and
+        ``require_all=False`` since the PSF classes never occur there.
+        """
+        result = CalibrationResult()
+        tokens_template = parse(CALIBRATION_SEQUENCE)
+        expected_types, _ = model_run(
+            CounterState(),
+            [token.aliasing for token in tokens_template],
+            psf_supported,
+        )
+        for variant_index in range(variants):
+            scratch_id = -(10 + variant_index)
+            tokens = [
+                StldToken(token.aliasing, load_id=scratch_id, store_id=scratch_id)
+                for token in tokens_template
+            ]
+            cycles = self.harness.run_sequence(tokens)
+            for exec_type, measured in zip(expected_types, cycles):
+                result.add(TIMING_CLASS[exec_type], measured)
+        if require_all and set(result.means) != set(TimingClass):
+            missing = set(TimingClass) - set(result.means)
+            raise ReproError(f"calibration missed timing classes: {missing}")
+        self.fit(result)
+        self.flush_training_state()
+        return result
+
+    def flush_training_state(self) -> None:
+        """Suspend/resume the harness process: flushes both predictors
+        (Section IV-A), clearing the calibration's training residue."""
+        kernel = self.harness.kernel
+        kernel.sleep(self.harness.process, self.harness.thread_id)
+        kernel.wake(self.harness.process)
+        kernel.schedule(self.harness.process, self.harness.thread_id)

@@ -1,0 +1,27 @@
+"""Workloads: SPEC2017-like instruction mixes and CNN inference victims."""
+
+from repro.workloads.cnn import (
+    CNN_MODELS,
+    CnnModel,
+    CnnVictim,
+    LayerSpec,
+    model_names,
+)
+from repro.workloads.spec2017 import (
+    SPEC2017,
+    WorkloadSpec,
+    build_workload,
+    workload_names,
+)
+
+__all__ = [
+    "CNN_MODELS",
+    "CnnModel",
+    "CnnVictim",
+    "LayerSpec",
+    "SPEC2017",
+    "WorkloadSpec",
+    "build_workload",
+    "model_names",
+    "workload_names",
+]

@@ -1,0 +1,146 @@
+"""Unit tests for saturating counters and the five-counter state."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.counters import (
+    C0_MAX,
+    C1_MAX,
+    C2_MAX,
+    C3_MAX,
+    C4_MAX,
+    CounterState,
+    SaturatingCounter,
+    clamp,
+)
+
+
+class TestClamp:
+    def test_inside_range(self):
+        assert clamp(3, 0, 5) == 3
+
+    def test_below(self):
+        assert clamp(-2, 0, 5) == 0
+
+    def test_above(self):
+        assert clamp(9, 0, 5) == 5
+
+    def test_boundaries(self):
+        assert clamp(0, 0, 5) == 0
+        assert clamp(5, 0, 5) == 5
+
+    @given(st.integers(-1000, 1000), st.integers(-50, 50), st.integers(0, 100))
+    def test_result_always_in_range(self, value, lo, span):
+        hi = lo + span
+        assert lo <= clamp(value, lo, hi) <= hi
+
+
+class TestSaturatingCounter:
+    def test_initial_value(self):
+        assert SaturatingCounter(2, maximum=4).value == 2
+
+    def test_initial_value_clamped(self):
+        assert SaturatingCounter(99, maximum=4).value == 4
+
+    def test_add_saturates(self):
+        assert SaturatingCounter(3, maximum=4).add(10).value == 4
+
+    def test_sub_saturates_at_minimum(self):
+        assert SaturatingCounter(1, maximum=4).sub(10).value == 0
+
+    def test_add_then_sub(self):
+        counter = SaturatingCounter(maximum=7)
+        counter.add(3).sub(1)
+        assert counter.value == 2
+
+    def test_reset(self):
+        assert SaturatingCounter(5, maximum=7).reset().value == 0
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(0, minimum=3, maximum=1)
+
+    def test_int_conversion(self):
+        assert int(SaturatingCounter(3, maximum=4)) == 3
+
+    def test_equality_with_int(self):
+        assert SaturatingCounter(3, maximum=4) == 3
+
+    def test_equality_with_counter(self):
+        assert SaturatingCounter(3, maximum=4) == SaturatingCounter(3, maximum=9)
+
+    def test_setter_clamps(self):
+        counter = SaturatingCounter(maximum=4)
+        counter.value = 100
+        assert counter.value == 4
+
+    @given(st.lists(st.integers(-10, 10), max_size=50))
+    def test_never_escapes_bounds(self, deltas):
+        counter = SaturatingCounter(maximum=4)
+        for delta in deltas:
+            counter.add(delta)
+            assert 0 <= counter.value <= 4
+
+
+counter_states = st.builds(
+    CounterState,
+    c0=st.integers(-2, C0_MAX + 2),
+    c1=st.integers(-2, C1_MAX + 2),
+    c2=st.integers(-2, C2_MAX + 2),
+    c3=st.integers(-2, C3_MAX + 2),
+    c4=st.integers(-2, C4_MAX + 2),
+)
+
+
+class TestCounterState:
+    def test_default_is_initial(self):
+        assert CounterState().is_initial
+
+    def test_nonzero_not_initial(self):
+        assert not CounterState(c4=1).is_initial
+
+    def test_clamps_on_construction(self):
+        state = CounterState(c0=99, c1=-5, c3=100)
+        assert state.c0 == C0_MAX
+        assert state.c1 == 0
+        assert state.c3 == C3_MAX
+
+    def test_with_updates_clamps(self):
+        state = CounterState().with_updates(c1=500)
+        assert state.c1 == C1_MAX
+
+    def test_with_updates_preserves_others(self):
+        state = CounterState(c0=2, c2=1).with_updates(c1=5)
+        assert (state.c0, state.c1, state.c2) == (2, 5, 1)
+
+    def test_parts(self):
+        state = CounterState(c0=1, c1=2, c2=3, c3=4, c4=1)
+        assert state.psfp_part == (1, 2, 3)
+        assert state.ssbp_part == (4, 1)
+
+    def test_as_tuple(self):
+        assert CounterState(c0=1, c3=2).as_tuple() == (1, 0, 0, 2, 0)
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            CounterState().c0 = 1  # type: ignore[misc]
+
+    def test_str_mentions_all_counters(self):
+        text = str(CounterState(c0=4, c1=16, c2=2, c3=15, c4=3))
+        for fragment in ("C0=4", "C1=16", "C2=2", "C3=15", "C4=3"):
+            assert fragment in text
+
+    @given(counter_states)
+    def test_always_within_bounds(self, state):
+        assert 0 <= state.c0 <= C0_MAX
+        assert 0 <= state.c1 <= C1_MAX
+        assert 0 <= state.c2 <= C2_MAX
+        assert 0 <= state.c3 <= C3_MAX
+        assert 0 <= state.c4 <= C4_MAX
+
+    @given(counter_states)
+    def test_hashable_and_equal_by_value(self, state):
+        clone = CounterState(*state.as_tuple())
+        assert clone == state
+        assert hash(clone) == hash(state)

@@ -1,0 +1,149 @@
+"""Unit tests for execution types A--H and their PMC profiles (Fig 2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.exec_types import (
+    PMC_PROFILE,
+    TIMING_CLASS,
+    ExecType,
+    TimingClass,
+    classify_exec_type,
+)
+
+
+class TestExecTypeSemantics:
+    @pytest.mark.parametrize(
+        "exec_type, predicted, truth",
+        [
+            (ExecType.A, True, True),
+            (ExecType.B, True, True),
+            (ExecType.C, True, True),
+            (ExecType.D, True, False),
+            (ExecType.E, True, False),
+            (ExecType.F, True, False),
+            (ExecType.G, False, True),
+            (ExecType.H, False, False),
+        ],
+    )
+    def test_prediction_and_truth(self, exec_type, predicted, truth):
+        assert exec_type.predicted_aliasing == predicted
+        assert exec_type.truth_aliasing == truth
+
+    def test_rollback_only_d_and_g(self):
+        assert {t for t in ExecType if t.rollback} == {ExecType.D, ExecType.G}
+
+    def test_psf_forward_only_c_and_d(self):
+        assert {t for t in ExecType if t.psf_forwarded} == {ExecType.C, ExecType.D}
+
+    def test_stalled_types(self):
+        assert {t for t in ExecType if t.stalled} == {
+            ExecType.A,
+            ExecType.B,
+            ExecType.E,
+            ExecType.F,
+        }
+
+    def test_mispredicted_matches_paper(self):
+        # D, E, F: predicted aliasing but disjoint; G: the reverse.
+        assert {t for t in ExecType if t.mispredicted} == {
+            ExecType.D,
+            ExecType.E,
+            ExecType.F,
+            ExecType.G,
+        }
+
+    @pytest.mark.parametrize(
+        "exec_type, source",
+        [
+            (ExecType.A, "sq"),
+            (ExecType.B, "sq"),
+            (ExecType.C, "forward"),
+            (ExecType.D, "forward"),
+            (ExecType.E, "cache"),
+            (ExecType.F, "cache"),
+            (ExecType.G, "cache"),
+            (ExecType.H, "cache"),
+        ],
+    )
+    def test_data_source(self, exec_type, source):
+        assert exec_type.data_source == source
+
+
+class TestTimingClasses:
+    def test_six_classes(self):
+        assert len(TimingClass) == 6
+
+    def test_every_type_has_a_class(self):
+        assert set(TIMING_CLASS) == set(ExecType)
+
+    def test_a_and_b_share_a_class(self):
+        assert TIMING_CLASS[ExecType.A] is TIMING_CLASS[ExecType.B]
+
+    def test_e_and_f_share_a_class(self):
+        assert TIMING_CLASS[ExecType.E] is TIMING_CLASS[ExecType.F]
+
+    def test_members_roundtrip(self):
+        for cls in TimingClass:
+            for exec_type in cls.members:
+                assert TIMING_CLASS[exec_type] is cls
+
+
+class TestPmcProfiles:
+    def test_sq_stall_tokens_split_by_prediction(self):
+        """Fig 2: 42 stall tokens for predicted-aliasing, 21 for bypass."""
+        for exec_type, profile in PMC_PROFILE.items():
+            expected = 42 if exec_type.predicted_aliasing else 21
+            assert profile.sq_stall_tokens == expected
+
+    def test_rollback_types_refetch(self):
+        for exec_type in (ExecType.D, ExecType.G):
+            profile = PMC_PROFILE[exec_type]
+            assert profile.ld_dispatch == 44
+            assert profile.l1_itlb_hits_4k == 105
+            assert profile.retired_ops == 201
+
+    def test_non_rollback_types_do_not_refetch(self):
+        for exec_type in ExecType:
+            if not exec_type.rollback:
+                profile = PMC_PROFILE[exec_type]
+                assert profile.ld_dispatch == 41
+                assert profile.l1_itlb_hits_4k == 83
+                assert profile.retired_ops == 200
+
+    def test_store_to_load_forward_counts(self):
+        """Fig 2: 7 STLF events when data came from the SQ (or on replay)."""
+        assert PMC_PROFILE[ExecType.A].store_to_load_forward == 7
+        assert PMC_PROFILE[ExecType.B].store_to_load_forward == 7
+        assert PMC_PROFILE[ExecType.G].store_to_load_forward == 7
+        assert PMC_PROFILE[ExecType.C].store_to_load_forward == 6
+        assert PMC_PROFILE[ExecType.H].store_to_load_forward == 6
+
+
+class TestClassify:
+    @given(st.booleans(), st.booleans(), st.booleans(), st.booleans())
+    def test_classification_consistent_with_inputs(
+        self, predicted, psf, truth, sticky
+    ):
+        exec_type = classify_exec_type(predicted, psf and predicted, truth, sticky)
+        assert exec_type.predicted_aliasing == predicted
+        assert exec_type.truth_aliasing == truth
+
+    def test_psf_correct_is_c(self):
+        assert classify_exec_type(True, True, True, False) is ExecType.C
+
+    def test_psf_wrong_is_d(self):
+        assert classify_exec_type(True, True, False, True) is ExecType.D
+
+    def test_sticky_splits_a_from_b(self):
+        assert classify_exec_type(True, False, True, False) is ExecType.A
+        assert classify_exec_type(True, False, True, True) is ExecType.B
+
+    def test_sticky_splits_e_from_f(self):
+        assert classify_exec_type(True, False, False, False) is ExecType.E
+        assert classify_exec_type(True, False, False, True) is ExecType.F
+
+    def test_bypass_outcomes(self):
+        assert classify_exec_type(False, False, True, False) is ExecType.G
+        assert classify_exec_type(False, False, False, False) is ExecType.H

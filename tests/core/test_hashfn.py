@@ -1,0 +1,139 @@
+"""Unit tests for the IPA-selection hash (paper Section III-C.2, Fig 4)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.hashfn import (
+    HASH_BITS,
+    IPA_BITS,
+    PAGE_SIZE,
+    STRIDE,
+    collision_offset,
+    hash_from_frame_offset,
+    ipa_hash,
+    xor_profile,
+)
+
+ipas = st.integers(0, (1 << IPA_BITS) - 1)
+frames = st.integers(0, (1 << (IPA_BITS - 12)) - 1)
+hashes = st.integers(0, (1 << HASH_BITS) - 1)
+
+
+class TestIpaHash:
+    def test_zero(self):
+        assert ipa_hash(0) == 0
+
+    def test_single_low_bit(self):
+        assert ipa_hash(1) == 1
+
+    def test_bit_twelve_folds_onto_bit_zero(self):
+        assert ipa_hash(1 << 12) == 1
+
+    def test_stride_group_cancels(self):
+        # Bits 1, 13, 25, 37 all set: they XOR to zero on output bit 1.
+        ipa = (1 << 1) | (1 << 13) | (1 << 25) | (1 << 37)
+        assert ipa_hash(ipa) == 0
+
+    def test_example_from_paper_stride(self):
+        # Output bit i folds IPA bits i, i+12, i+24, i+36.
+        for i in range(HASH_BITS):
+            assert ipa_hash(1 << i) == 1 << i
+            assert ipa_hash(1 << (i + STRIDE)) == 1 << i
+            assert ipa_hash(1 << (i + 2 * STRIDE)) == 1 << i
+            assert ipa_hash(1 << (i + 3 * STRIDE)) == 1 << i
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ipa_hash(-1)
+
+    def test_bits_beyond_48_ignored(self):
+        assert ipa_hash(1 << 48) == ipa_hash(0)
+
+    @given(ipas)
+    def test_output_range(self, ipa):
+        assert 0 <= ipa_hash(ipa) < (1 << HASH_BITS)
+
+    @given(ipas, ipas)
+    def test_linearity(self, a, b):
+        """The hardware hash is linear over GF(2): h(a^b) == h(a)^h(b)."""
+        assert ipa_hash(a ^ b) == ipa_hash(a) ^ ipa_hash(b)
+
+    @given(ipas, st.integers(1, 2**48 - 1))
+    def test_salted_hash_is_deterministic(self, ipa, salt):
+        assert ipa_hash(ipa, salt) == ipa_hash(ipa, salt)
+        assert 0 <= ipa_hash(ipa, salt) < (1 << HASH_BITS)
+
+    def test_rekeying_breaks_collisions(self):
+        """The mitigation property: a pair colliding under the hardware
+        hash (or one key) does not keep colliding under another key —
+        which is exactly what a linear XOR premix would fail to provide."""
+        base = 0x0000_DEAD_B123
+        other = base ^ (1 << 5) ^ (1 << 17)  # collides under salt=0
+        assert ipa_hash(base) == ipa_hash(other)
+        broken = sum(
+            ipa_hash(base, salt) != ipa_hash(other, salt)
+            for salt in range(1, 65)
+        )
+        assert broken > 55  # almost every key separates them
+
+
+class TestFrameOffsetForm:
+    @given(frames, st.integers(0, PAGE_SIZE - 1))
+    def test_matches_direct_hash(self, frame, offset):
+        assert hash_from_frame_offset(frame, offset) == ipa_hash(
+            (frame << 12) | offset
+        )
+
+    def test_offset_out_of_range(self):
+        with pytest.raises(ValueError):
+            hash_from_frame_offset(0, PAGE_SIZE)
+
+    @given(frames, hashes)
+    def test_collision_offset_is_an_oracle(self, frame, target):
+        """Any target hash is reachable within any page (Vulnerability 2)."""
+        offset = collision_offset(target, frame)
+        assert 0 <= offset < PAGE_SIZE
+        assert hash_from_frame_offset(frame, offset) == target
+
+    def test_collision_offset_keyed_search(self):
+        """Under a mitigation key, the oracle falls back to page search
+        (and may legitimately fail — collisions became scarce)."""
+        salt = 0xABCDEF
+        found = 0
+        for target in range(0, 64):
+            try:
+                offset = collision_offset(target, frame=0x1234, salt=salt)
+            except ValueError:
+                continue
+            assert hash_from_frame_offset(0x1234, offset, salt) == target
+            found += 1
+        assert found > 20  # many targets reachable, not necessarily all
+
+    def test_collision_offset_rejects_bad_hash(self):
+        with pytest.raises(ValueError):
+            collision_offset(1 << HASH_BITS, 0)
+
+
+class TestXorProfile:
+    def test_identical_addresses(self):
+        assert xor_profile(0x1234, 0x1234) == [0] * HASH_BITS
+
+    @given(ipas, ipas)
+    def test_zero_profile_iff_collision(self, a, b):
+        profile = xor_profile(a, b)
+        collides = ipa_hash(a) == ipa_hash(b)
+        assert (profile == [0] * HASH_BITS) == collides
+
+    @given(ipas, ipas)
+    def test_profile_is_hash_of_difference(self, a, b):
+        value = sum(bit << i for i, bit in enumerate(xor_profile(a, b)))
+        assert value == ipa_hash(a ^ b)
+
+    def test_fig4_property_colliding_pairs_share_stride_xor(self):
+        """Colliding pairs have identical XOR parities at stride 12 (Fig 4)."""
+        base = 0x0000_DEAD_B123
+        # Flip bit 5 and bit 17 together: they fold onto the same output bit.
+        other = base ^ (1 << 5) ^ (1 << 17)
+        assert ipa_hash(base) == ipa_hash(other)
+        assert xor_profile(base, other) == [0] * HASH_BITS

@@ -1,0 +1,329 @@
+"""Tests for the TABLE I state machine, including the paper's sequences."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.counters import C3_MAX, CounterState
+from repro.core.exec_types import ExecType
+from repro.core.state_machine import (
+    PSF_C1_THRESHOLD,
+    StateName,
+    classify_state,
+    g_event_state,
+    predict,
+    run_sequence,
+    transition,
+)
+from repro.revng.sequences import format_types, to_bools
+
+counter_states = st.builds(
+    CounterState,
+    c0=st.integers(0, 4),
+    c1=st.integers(0, 31),
+    c2=st.integers(0, 3),
+    c3=st.integers(0, 32),
+    c4=st.integers(0, 3),
+)
+
+
+def phi(sequence: str, state: CounterState = CounterState()) -> str:
+    """The paper's phi notation: run a sequence, return formatted types."""
+    types, _ = run_sequence(state, to_bools(sequence))
+    return format_types(types)
+
+
+class TestPaperSequences:
+    """Sequences the paper reports verbatim (Section III-B)."""
+
+    def test_phi_7n_a(self):
+        assert phi("7n, a") == "7H, G"
+
+    def test_phi_n_a_7n(self):
+        """The sequence that revealed C0 (Section III-B.2)."""
+        assert phi("n, a, 7n") == "H, G, 4E, 3H"
+
+    def test_phi_discovering_c4(self):
+        """The sequence that revealed C4: after 3 G events, 15 n needed."""
+        assert phi("a, 4n, a, 4n, a, 16n") == "G, 4E, G, 4E, G, 15F, H"
+
+    def test_psfp_probe_expectation(self):
+        """Section III-D: a trained entry answers phi(5n) = (4E, H)."""
+        trained = CounterState(c0=4, c1=16, c2=2, c3=0, c4=3)
+        assert phi("5n", trained) == "4E, H"
+
+    def test_evicted_probe_expectation(self):
+        """Section III-D: an evicted entry answers phi(5n) = (5H)."""
+        assert phi("5n") == "5H"
+
+    def test_ssbp_training_reaches_sticky_state(self):
+        """(7n,a,7n,a,7n,a) charges C3 to 15 (Section IV-A training)."""
+        _, state = run_sequence(CounterState(), to_bools("7n, a, 7n, a, 7n, a"))
+        assert state.c3 == 15
+        assert state.c4 == 3
+
+    def test_ssbp_probe_after_training(self):
+        """Probing a trained SSBP entry shows a long F tail."""
+        _, state = run_sequence(CounterState(), to_bools("7n, a, 7n, a, 7n, a"))
+        types, _ = run_sequence(state, to_bools("32n"))
+        assert types[:15] == [ExecType.F] * 15
+        assert types[-1] is ExecType.H
+
+
+class TestInitializeState:
+    def test_n_is_h_and_keeps_state(self):
+        result = transition(CounterState(), aliasing=False)
+        assert result.exec_type is ExecType.H
+        assert result.state == CounterState()
+        assert result.state_name is StateName.INITIALIZE
+
+    def test_a_is_g_and_trains(self):
+        result = transition(CounterState(), aliasing=True)
+        assert result.exec_type is ExecType.G
+        assert result.state == CounterState(c0=4, c1=16, c2=2, c3=0, c4=1)
+
+    def test_third_g_charges_c3(self):
+        state = CounterState(c4=2)
+        result = transition(state, aliasing=True)
+        assert result.state.c3 == 15
+        assert result.state.c4 == 3
+
+    def test_g_event_state_saturates_c4(self):
+        state = g_event_state(CounterState(c4=3))
+        assert state.c4 == 3
+        assert state.c3 == 15
+
+
+class TestBlockState:
+    """C0 > 0, C2 = 0, C3 = 0: prediction pinned to aliasing, PSF off."""
+
+    state = CounterState(c0=2, c1=5, c2=0, c3=0, c4=1)
+
+    def test_classified_as_block(self):
+        assert classify_state(self.state) is StateName.BLOCK
+
+    def test_n_is_e_no_change(self):
+        result = transition(self.state, aliasing=False)
+        assert result.exec_type is ExecType.E
+        assert result.state == self.state
+
+    def test_a_is_a_no_change(self):
+        result = transition(self.state, aliasing=True)
+        assert result.exec_type is ExecType.A
+        assert result.state == self.state
+
+
+class TestLoadFromCacheState:
+    state = CounterState(c0=0, c1=20, c2=2, c3=0, c4=2)
+
+    def test_classified(self):
+        assert classify_state(self.state) is StateName.LOAD_FROM_CACHE
+
+    def test_n_is_h(self):
+        result = transition(self.state, aliasing=False)
+        assert result.exec_type is ExecType.H
+        assert result.state == self.state
+
+    def test_a_is_g_and_retrains(self):
+        result = transition(self.state, aliasing=True)
+        assert result.exec_type is ExecType.G
+        assert result.state.c0 == 4
+        assert result.state.c3 == 15  # C4 was 2; increments to 3 first
+
+
+class TestS1PsfEnabled:
+    state = CounterState(c0=3, c1=10, c2=2, c3=0)
+
+    def test_classified(self):
+        assert classify_state(self.state) is StateName.S1_PSF_ENABLED
+
+    def test_a_is_c(self):
+        result = transition(self.state, aliasing=True)
+        assert result.exec_type is ExecType.C
+        assert result.state.c1 == 9
+
+    def test_a_bumps_c0_when_c1_mod4_is_3(self):
+        state = CounterState(c0=3, c1=11, c2=2, c3=0)  # 11 & 3 == 3
+        result = transition(state, aliasing=True)
+        assert result.state.c0 == 4
+
+    def test_c0_capped_at_4(self):
+        state = CounterState(c0=4, c1=11, c2=2, c3=0)
+        result = transition(state, aliasing=True)
+        assert result.state.c0 == 4
+
+    def test_n_is_d_with_rollback_updates(self):
+        result = transition(self.state, aliasing=False)
+        assert result.exec_type is ExecType.D
+        assert result.state == self.state.with_updates(c0=2, c1=14, c2=1)
+
+    def test_two_ds_reach_block(self):
+        """Section III-B: a block state is triggered after type D occurs
+        twice (C2 goes 2 -> 1 -> 0)."""
+        state = CounterState(c0=4, c1=4, c2=2, c3=0)
+        first = transition(state, aliasing=False)
+        assert first.exec_type is ExecType.D
+        second = transition(first.state, aliasing=False)
+        assert second.exec_type is ExecType.D
+        assert classify_state(second.state) is StateName.BLOCK
+
+
+class TestS1PsfDisabled:
+    state = CounterState(c0=3, c1=20, c2=2, c3=0)
+
+    def test_classified(self):
+        assert classify_state(self.state) is StateName.S1_PSF_DISABLED
+
+    def test_n_is_e(self):
+        result = transition(self.state, aliasing=False)
+        assert result.exec_type is ExecType.E
+        assert result.state == self.state.with_updates(c0=2, c1=24)
+
+    def test_a_is_a(self):
+        result = transition(self.state, aliasing=True)
+        assert result.exec_type is ExecType.A
+        assert result.state.c1 == 19
+
+    def test_repeated_a_reenables_psf(self):
+        """Aliasing executions drain C1 below the PSF threshold."""
+        state = self.state
+        for _ in range(16):
+            state = transition(state, aliasing=True).state
+        assert state.c1 <= PSF_C1_THRESHOLD
+        assert classify_state(state) is StateName.S1_PSF_ENABLED
+
+
+class TestS2PsfDisabled:
+    state = CounterState(c0=2, c1=20, c2=2, c3=5)
+
+    def test_classified(self):
+        assert classify_state(self.state) is StateName.S2_PSF_DISABLED
+
+    def test_n_is_f_and_drains(self):
+        result = transition(self.state, aliasing=False)
+        assert result.exec_type is ExecType.F
+        assert result.state.c3 == 4
+        assert result.state.c0 == 1  # amendment 2: C0 decays too
+
+    def test_a_is_b_drains_c3_when_c0_positive(self):
+        result = transition(self.state, aliasing=True)
+        assert result.exec_type is ExecType.B
+        assert result.state.c3 == 4
+
+    def test_a_recharges_c3_when_c0_zero(self):
+        state = CounterState(c0=0, c1=5, c2=0, c3=5)
+        result = transition(state, aliasing=True)
+        assert result.exec_type is ExecType.B
+        assert result.state.c3 == min(5 + 16, C3_MAX)
+
+    def test_gap_state_falls_back_here(self):
+        """TABLE I leaves C0>0, C2=0, C3>0 unlisted; we treat it as S2."""
+        gap = CounterState(c0=2, c1=5, c2=0, c3=3)
+        assert classify_state(gap) is StateName.S2_PSF_DISABLED
+
+
+class TestS2PsfEnabled:
+    state = CounterState(c0=3, c1=8, c2=2, c3=6)
+
+    def test_classified(self):
+        assert classify_state(self.state) is StateName.S2_PSF_ENABLED
+
+    def test_n_is_d_drains_c3_by_two(self):
+        result = transition(self.state, aliasing=False)
+        assert result.exec_type is ExecType.D
+        assert result.state == self.state.with_updates(c0=2, c1=12, c3=4)
+
+    def test_a_is_c(self):
+        result = transition(self.state, aliasing=True)
+        assert result.exec_type is ExecType.C
+        assert result.state.c3 == 5
+
+
+class TestPredict:
+    def test_initial_predicts_non_aliasing(self):
+        pred = predict(CounterState())
+        assert not pred.aliasing
+        assert not pred.psf_forward
+
+    def test_aliasing_iff_c0_or_c3(self):
+        assert predict(CounterState(c0=1)).aliasing
+        assert predict(CounterState(c3=1)).aliasing
+        assert not predict(CounterState(c1=20, c2=2)).aliasing
+
+    def test_psf_needs_all_three(self):
+        assert predict(CounterState(c0=1, c1=3, c2=1)).psf_forward
+        assert not predict(CounterState(c0=0, c1=3, c2=1)).psf_forward
+        assert not predict(CounterState(c0=1, c1=13, c2=1)).psf_forward
+        assert not predict(CounterState(c0=1, c1=3, c2=0)).psf_forward
+
+    @given(counter_states)
+    def test_sticky_mirrors_c3(self, state):
+        assert predict(state).sticky == (state.c3 > 0)
+
+
+class TestTotalityAndInvariants:
+    @given(counter_states)
+    def test_classify_is_total(self, state):
+        assert classify_state(state) in StateName
+
+    @given(counter_states, st.booleans())
+    def test_transition_is_total_and_bounded(self, state, aliasing):
+        result = transition(state, aliasing)
+        nxt = result.state
+        assert 0 <= nxt.c0 <= 4
+        assert 0 <= nxt.c1 <= 31
+        assert 0 <= nxt.c2 <= 3
+        assert 0 <= nxt.c3 <= 32
+        assert 0 <= nxt.c4 <= 3
+
+    @given(counter_states, st.booleans())
+    def test_exec_type_consistent_with_prediction(self, state, aliasing):
+        pred = predict(state)
+        result = transition(state, aliasing)
+        assert result.exec_type.predicted_aliasing == pred.aliasing
+        assert result.exec_type.truth_aliasing == aliasing
+        assert result.exec_type.psf_forwarded == (pred.psf_forward and pred.aliasing)
+
+    @given(counter_states)
+    def test_c4_never_decreases(self, state):
+        """C4 only counts G events; nothing ever drains it."""
+        for aliasing in (False, True):
+            assert transition(state, aliasing).state.c4 >= state.c4
+
+    @given(counter_states)
+    def test_n_never_raises_c3(self, state):
+        assert transition(state, aliasing=False).state.c3 <= state.c3
+
+    @settings(max_examples=25)
+    @given(st.lists(st.booleans(), min_size=1, max_size=200))
+    def test_long_random_sequences_terminate_in_valid_states(self, inputs):
+        types, state = run_sequence(CounterState(), inputs)
+        assert len(types) == len(inputs)
+        assert classify_state(state) in StateName
+
+    @given(counter_states)
+    def test_long_n_run_flips_prediction_unless_blocked(self, state):
+        """Enough non-aliasing executions flip the prediction back (at most
+        15n once C4 saturates, plus the C0 decay) — except in the absorbing
+        Block state, where prediction is pinned to aliasing forever."""
+        for _ in range(64):
+            state = transition(state, aliasing=False).state
+        if classify_state(state) is StateName.BLOCK:
+            assert predict(state).aliasing
+        else:
+            assert not predict(state).aliasing
+
+    def test_block_state_is_absorbing(self):
+        """Section III-B: once blocked, neither input ever unblocks."""
+        state = CounterState(c0=2, c1=7, c2=0, c3=0)
+        for aliasing in (True, False, True, True, False):
+            state = transition(state, aliasing).state
+            assert classify_state(state) is StateName.BLOCK
+
+
+class TestRollforwardDeterminism:
+    @given(counter_states, st.lists(st.booleans(), max_size=64))
+    def test_runs_are_deterministic(self, state, inputs):
+        first = run_sequence(state, inputs)
+        second = run_sequence(state, inputs)
+        assert first == second

@@ -1,0 +1,168 @@
+"""Pipeline edge cases: queue pressure, fences, widths, faults."""
+
+import pytest
+
+from repro.cpu.isa import (
+    AluImm,
+    Clflush,
+    Halt,
+    ImulImm,
+    Load,
+    Mfence,
+    Mov,
+    MovImm,
+    Pad,
+    Program,
+    Store,
+)
+from repro.cpu.machine import Machine
+from repro.errors import SegmentationFault, SimulationLimitExceeded
+
+
+@pytest.fixture()
+def machine():
+    return Machine(seed=99)
+
+
+@pytest.fixture()
+def process(machine):
+    return machine.kernel.create_process("edge")
+
+
+def run(machine, process, instructions, regs=None, **kwargs):
+    program = machine.load_program(process, Program(instructions, name="edge"))
+    return machine.run(process, program, regs, **kwargs)
+
+
+class TestStoreQueuePressure:
+    def test_many_ready_stores_commit_continuously(self, machine, process):
+        """More stores than SQ entries succeed because ready stores
+        drain as execution proceeds."""
+        buf = machine.kernel.map_anonymous(process, pages=2)
+        instructions = [MovImm("v", 7)]
+        for index in range(200):  # > 64 SQ entries
+            instructions.append(AluImm("a", "base", index * 8, "add"))
+            instructions.append(Store(base="a", src="v", width=8))
+        instructions.append(Halt())
+        result = run(machine, process, instructions, {"base": buf})
+        assert result.fault is None
+        assert machine.kernel.read(process, buf + 8 * 199, 1)[0] == 7
+
+    def test_unresolvable_head_overflows_queue(self, machine, process):
+        """A head store whose address resolves far in the future blocks
+        in-order commit; piling 70 more stores overflows the queue."""
+        buf = machine.kernel.map_anonymous(process, pages=2)
+        instructions = [MovImm("v", 1), Mov("slow", "base")]
+        instructions += [ImulImm("slow", "slow", 1)] * 80
+        instructions.append(Store(base="slow", src="v", width=8))
+        for index in range(70):
+            instructions.append(AluImm("a", "base", 8 + index * 8, "add"))
+            instructions.append(Store(base="a", src="v", width=8))
+        instructions.append(Halt())
+        with pytest.raises(SimulationLimitExceeded, match="store queue"):
+            run(machine, process, instructions, {"base": buf})
+
+
+class TestFences:
+    def test_mfence_orders_store_before_load(self, machine, process):
+        buf = machine.kernel.map_anonymous(process, pages=1)
+        instructions = [
+            Mov("slow", "base"),
+            *[ImulImm("slow", "slow", 1)] * 20,
+            MovImm("v", 0xAB),
+            Store(base="slow", src="v", width=1),
+            Mfence(),
+            Load("out", base="base", width=1),
+            Halt(),
+        ]
+        result = run(machine, process, instructions, {"base": buf})
+        # After the fence the load cannot race: no events, correct value.
+        assert result.regs["out"] == 0xAB
+        assert result.events == []
+
+    def test_double_fence_is_harmless(self, machine, process):
+        result = run(machine, process, [Mfence(), Mfence(), MovImm("x", 1), Halt()])
+        assert result.regs["x"] == 1
+
+
+class TestWidths:
+    def test_wide_store_narrow_load_forwards_low_byte(self, machine, process):
+        buf = machine.kernel.map_anonymous(process, pages=1)
+        instructions = [
+            MovImm("v", 0x1234),
+            Store(base="base", src="v", width=8),
+            Load("out", base="base", width=1),
+            Halt(),
+        ]
+        result = run(machine, process, instructions, {"base": buf})
+        assert result.regs["out"] == 0x34
+
+    def test_narrow_store_wide_load_merges(self, machine, process):
+        buf = machine.kernel.map_anonymous(process, pages=1)
+        machine.kernel.write(process, buf, bytes(range(8)))
+        instructions = [
+            MovImm("v", 0xFF),
+            Store(base="base", src="v", width=1),
+            Mfence(),
+            Load("out", base="base", width=8),
+            Halt(),
+        ]
+        result = run(machine, process, instructions, {"base": buf})
+        assert result.regs["out"] == int.from_bytes(
+            bytes([0xFF, 1, 2, 3, 4, 5, 6, 7]), "little"
+        )
+
+    def test_speculative_narrow_store_wide_load_merges_after_squash(
+        self, machine, process
+    ):
+        """An aliasing 1-byte store under an 8-byte racing load: partial
+        overlap cannot forward, but the replayed value must merge."""
+        buf = machine.kernel.map_anonymous(process, pages=1)
+        machine.kernel.write(process, buf, bytes([9] * 8))
+        instructions = [
+            Mov("slow", "base"),
+            *[ImulImm("slow", "slow", 1)] * 20,
+            MovImm("v", 0xEE),
+            Store(base="slow", src="v", width=1),
+            Load("out", base="base", width=8),
+            Halt(),
+        ]
+        result = run(machine, process, instructions, {"base": buf})
+        expected = int.from_bytes(bytes([0xEE] + [9] * 7), "little")
+        assert result.regs["out"] == expected
+        assert result.rollbacks == 1  # predicted non-aliasing, was aliasing
+
+
+class TestMisc:
+    def test_pad_instructions_execute(self, machine, process):
+        result = run(machine, process, [Pad(), Pad(), MovImm("x", 3), Halt()])
+        assert result.regs["x"] == 3
+
+    def test_store_to_unmapped_faults_immediately(self, machine, process):
+        with pytest.raises(SegmentationFault):
+            run(
+                machine,
+                process,
+                [MovImm("a", 0xBAD0000), MovImm("v", 1), Store(base="a", src="v"), Halt()],
+            )
+
+    def test_clflush_unmapped_faults(self, machine, process):
+        with pytest.raises(SegmentationFault):
+            run(machine, process, [MovImm("a", 0xBAD0000), Clflush(base="a"), Halt()])
+
+    def test_program_without_halt_terminates(self, machine, process):
+        result = run(machine, process, [MovImm("x", 5)])
+        assert result.regs["x"] == 5
+
+    def test_max_steps_enforced(self, machine, process):
+        from repro.cpu.isa import Jz, Label
+
+        # An infinite loop: Jz with cond always zero jumping backward.
+        instructions = [
+            Label("top"),
+            MovImm("z", 0),
+            Jz("z", "top"),
+            Halt(),
+        ]
+        with pytest.raises(SimulationLimitExceeded):
+            run(machine, process, instructions, max_steps=500)

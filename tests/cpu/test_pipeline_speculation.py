@@ -1,0 +1,297 @@
+"""Pipeline tests: transient execution, rollback, and Vulnerability 4.
+
+These exercise the paper's Fig 8 (transient windows opened by PSFP and
+SSBP mispredictions) and Fig 9 (predictor updates inside any transient
+window persist).
+"""
+
+import pytest
+
+from repro.core.exec_types import ExecType
+from repro.cpu.isa import (
+    Alu,
+    Halt,
+    ImulImm,
+    Jz,
+    Label,
+    Load,
+    Mov,
+    MovImm,
+    Program,
+    Store,
+)
+from repro.cpu.machine import Machine
+
+
+@pytest.fixture()
+def machine():
+    return Machine(seed=5)
+
+
+@pytest.fixture()
+def process(machine):
+    return machine.kernel.create_process("victim")
+
+
+def delayed_store_load(buf, store_off, load_off, tail=()):
+    """store [buf+store_off] = 0xDD (address delayed); load [buf+load_off]."""
+    instructions = [
+        MovImm("sbase", buf + store_off),
+        Mov("t", "sbase"),
+    ]
+    instructions += [ImulImm("t", "t", 1)] * 20
+    instructions += [
+        MovImm("data", 0xDD),
+        Store(base="t", src="data", width=8),
+        MovImm("lbase", buf + load_off),
+        Load("out", base="lbase", width=8),
+    ]
+    instructions += list(tail)
+    instructions.append(Halt())
+    return Program(instructions, name="spec")
+
+
+class TestBypassWindow:
+    """Fresh predictors predict non-aliasing: an aliasing pair squashes (G)."""
+
+    def test_aliasing_pair_rolls_back_and_corrects(self, machine, process):
+        buf = machine.kernel.map_anonymous(process, pages=1)
+        machine.kernel.write(process, buf, (0xCC).to_bytes(8, "little"))
+        program = machine.load_program(process, delayed_store_load(buf, 0, 0))
+        result = machine.run(process, program)
+        # Architectural value is the store's data, not the stale 0xCC.
+        assert result.regs["out"] == 0xDD
+        assert result.rollbacks == 1
+        assert [e.exec_type for e in result.events] == [ExecType.G]
+
+    def test_disjoint_pair_bypasses_cleanly(self, machine, process):
+        buf = machine.kernel.map_anonymous(process, pages=1)
+        machine.kernel.write(process, buf + 64, (0xCC).to_bytes(8, "little"))
+        program = machine.load_program(process, delayed_store_load(buf, 0, 64))
+        result = machine.run(process, program)
+        assert result.regs["out"] == 0xCC
+        assert result.rollbacks == 0
+        assert [e.exec_type for e in result.events] == [ExecType.H]
+
+    def test_stale_value_flows_transiently(self, machine, process):
+        """The bypassing load returns the OLD memory value inside the
+        window; a dependent load encodes it into the cache, and that cache
+        line survives the rollback — the Fig 8 (4b) leak primitive."""
+        buf = machine.kernel.map_anonymous(process, pages=1)
+        probe = machine.kernel.map_anonymous(process, pages=257)
+        machine.kernel.write(process, buf, (3).to_bytes(8, "little"))  # stale idx 3
+        # Transiently touch probe + out*4096 ("out" is the stale 3 here).
+        tail = [
+            MovImm("pbase", probe),
+            ImulImm("scaled", "out", 4096),
+            Alu("paddr_reg", "pbase", "scaled", "add"),
+            Load("leak", base="paddr_reg"),
+        ]
+        program = machine.load_program(process, delayed_store_load(buf, 0, 0, tail))
+        result = machine.run(process, program)
+        # Architecturally the replay uses the correct value 0xDD.
+        assert result.regs["out"] == 0xDD
+        assert result.rollbacks == 1
+        # Microarchitecturally, the stale-indexed line (3 * 4096) was
+        # touched in the window and SURVIVES the squash.
+        stale_paddr = machine.kernel.translate(process, probe + 3 * 4096)
+        assert machine.core.hierarchy.probe_level(stale_paddr).value != "memory"
+
+
+class TestPsfWindow:
+    """A PSF-trained pair forwards the wrong data for a disjoint load (D)."""
+
+    def _train_psf(self, machine, process, program, buf):
+        """Drive the pair's PSFP entry into the PSF-enabled state by
+        running aliasing pairs (G then A until C1 <= 12)."""
+        for _ in range(6):
+            machine.run(process, program, {"alias": 1})
+
+    def test_wrong_forward_rolls_back(self, machine, process):
+        buf = machine.kernel.map_anonymous(process, pages=1)
+        machine.kernel.write(process, buf + 64, (0xCC).to_bytes(8, "little"))
+        # One program, two behaviours chosen by the "alias" register:
+        # store target = buf when alias=1, buf+128 when alias=0.
+        instructions = [
+            MovImm("sbase", buf),
+            ImulImm("off", "alias", 128),
+            MovImm("one", 1),
+        ]
+        from repro.cpu.isa import Alu, AluImm
+
+        instructions += [
+            AluImm("neg", "alias", 0, "add"),
+        ]
+        # store address = buf + (1 - alias) * 128 : alias=1 -> buf+... easier:
+        # store address = buf + off where off = (alias == 1) ? 0 : 128.
+        instructions = [
+            MovImm("base", buf),
+            MovImm("k128", 128),
+            # off = 128 - alias*128
+            ImulImm("t1", "alias", 128),
+            Alu("off", "k128", "t1", "sub"),
+            Alu("sbase", "base", "off", "add"),
+            Mov("t", "sbase"),
+        ]
+        instructions += [ImulImm("t", "t", 1)] * 20
+        instructions += [
+            MovImm("data", 0xDD),
+            Store(base="t", src="data", width=8),
+            Load("out", base="base", width=8),  # always loads buf
+            Halt(),
+        ]
+        program = machine.load_program(process, Program(instructions, name="psf"))
+        self._train_psf(machine, process, program, buf)
+        # Confirm training reached the PSF state (type C on aliasing run).
+        result = machine.run(process, program, {"alias": 1})
+        assert result.events[-1].exec_type is ExecType.C
+        # Now run disjoint: PSF forwards 0xDD to the load of buf, which is
+        # wrong (buf holds the previous aliased store's 0xDD... use fresh
+        # memory value to make wrongness observable).
+        machine.kernel.write(process, buf, (0x11).to_bytes(8, "little"))
+        result = machine.run(process, program, {"alias": 0})
+        assert result.events[-1].exec_type is ExecType.D
+        assert result.rollbacks == 1
+        assert result.regs["out"] == 0x11  # corrected after the squash
+
+    def test_correct_forward_is_type_c_without_rollback(self, machine, process):
+        buf = machine.kernel.map_anonymous(process, pages=1)
+        program = machine.load_program(process, delayed_store_load(buf, 0, 0))
+        for _ in range(6):
+            machine.run(process, program)
+        result = machine.run(process, program)
+        assert result.events[-1].exec_type is ExecType.C
+        assert result.rollbacks == 0
+        assert result.regs["out"] == 0xDD
+
+
+class TestSquashCancelsYoungerWindow:
+    def test_store_squash_before_open_branch_window(self, machine, process):
+        """Regression (found by differential fuzzing): a G-squash that
+        rewinds to a load OLDER than an open branch window must cancel
+        the window — otherwise the window later "closes" onto state
+        snapshotted on the squashed path."""
+        buf = machine.kernel.map_anonymous(process, pages=1)
+        machine.kernel.write(process, buf, (5).to_bytes(8, "little"))
+        instructions = [MovImm("sbase", buf), Mov("t", "sbase")]
+        instructions += [ImulImm("t", "t", 1)] * 30
+        instructions += [
+            MovImm("data", 0xDD),
+            Store(base="t", src="data", width=8),   # resolves late
+            Load("out", base="sbase", width=8),     # bypasses: stale 5, G later
+            # A branch whose condition depends on the (stale) load: it
+            # mispredicts and opens a window before the store resolves.
+            Jz("out", "taken"),
+            MovImm("x", 1),
+            Label("taken"),
+            MovImm("y", 2),
+            Halt(),
+        ]
+        program = machine.load_program(process, Program(instructions, name="rw"))
+        # Train the branch taken so the (non-zero) stale value mispredicts.
+        trainer = machine.load_program(
+            process,
+            Program(list(program.instructions), name="trainer"),
+        )
+        result = machine.run(process, program)
+        assert result.regs["out"] == 0xDD
+        # The correct path must have fully re-executed: out != 0 -> not
+        # taken -> x = 1 is architectural.
+        assert result.regs.get("x") == 1
+        assert result.regs.get("y") == 2
+
+
+class TestVuln4TransientUpdates:
+    """Predictor updates made inside squashed windows persist (Fig 9)."""
+
+    def test_branch_window_updates_survive(self, machine, process):
+        buf = machine.kernel.map_anonymous(process, pages=1)
+        # The condition resolves late (multiply chain on "seed"), and the
+        # taken path contains an aliasing delayed store-load pair.
+        instructions = [Mov("cond", "seed")]
+        instructions += [ImulImm("cond", "cond", 1)] * 30
+        instructions += [
+            Jz("cond", "wrong_path"),
+            Halt(),
+            Label("wrong_path"),
+            MovImm("sbase", buf),
+            Mov("t", "sbase"),
+        ]
+        instructions += [ImulImm("t", "t", 1)] * 20
+        instructions += [
+            MovImm("data", 0xDD),
+            Store(base="t", src="data", width=8),
+            # Load address comes from "poff": disjoint during training
+            # (no predictor change, type H), aliasing in the attack run.
+            MovImm("lbase", buf),
+            Alu("laddr", "lbase", "poff", "add"),
+            Load("out", base="laddr", width=8),
+            Halt(),
+        ]
+        program = machine.load_program(process, Program(instructions, name="v4"))
+        # Train the branch taken (seed=0 -> cond=0 -> taken) with a
+        # disjoint pair so the predictors stay fresh.
+        for _ in range(4):
+            machine.run(process, program, {"seed": 0, "poff": 64})
+        unit = machine.core.thread(0).unit
+        # Mispredicted run: seed=1 -> not taken, but predicted taken, so
+        # the (now aliasing) stld executes transiently on the wrong path.
+        result = machine.run(process, program, {"seed": 1, "poff": 0})
+        assert result.rollbacks >= 1
+        assert "out" not in result.regs  # the wrong path was squashed
+        # ... yet the wrong-path stld's G event trained the predictors.
+        assert any(e.exec_type is ExecType.G for e in result.events)
+        assert unit.ssbp.occupancy >= 1
+
+    def test_faulty_load_window_updates_survive(self, machine, process):
+        buf = machine.kernel.map_anonymous(process, pages=1)
+        instructions = [
+            MovImm("bad", 0xDEAD0000),
+            Load("x", base="bad"),  # faults; younger work is transient
+            MovImm("sbase", buf),
+            Mov("t", "sbase"),
+        ]
+        instructions += [ImulImm("t", "t", 1)] * 10
+        instructions += [
+            MovImm("data", 1),
+            Store(base="t", src="data", width=8),
+            Load("out", base="sbase", width=8),
+            Halt(),
+            Label("fault_handler"),
+            MovImm("handled", 1),
+            Halt(),
+        ]
+        program = machine.load_program(process, Program(instructions, name="flt"))
+        unit = machine.core.thread(0).unit
+        result = machine.run(process, program)
+        assert result.regs.get("handled") == 1
+        assert any(e.exec_type is ExecType.G for e in result.events)
+        # The G event inside the fault window charged the predictors.
+        assert unit.ssbp.occupancy >= 1
+
+    def test_memory_window_nested_update_survives(self, machine, process):
+        """An stld inside a bypass window (the Spectre-CTL covert-channel
+        mechanism): the inner pair's predictor update persists after the
+        outer squash."""
+        buf = machine.kernel.map_anonymous(process, pages=1)
+        machine.kernel.write(process, buf, (0).to_bytes(8, "little"))
+        instructions = [
+            MovImm("sbase", buf),
+            Mov("t", "sbase"),
+        ]
+        instructions += [ImulImm("t", "t", 1)] * 30
+        instructions += [
+            MovImm("data", 0xDD),
+            Store(base="t", src="data", width=8),   # pending store
+            Load("first", base="sbase", width=8),   # bypass -> G, squash later
+            # inner, transient load aliasing the same pending store:
+            Load("second", base="sbase", offset=0, width=8),
+            Halt(),
+        ]
+        program = machine.load_program(process, Program(instructions, name="ctl"))
+        result = machine.run(process, program)
+        assert result.rollbacks == 1
+        # Both loads produced events and both updated the predictors.
+        assert len(result.events) >= 2
+        g_events = [e for e in result.events if e.exec_type is ExecType.G]
+        assert len(g_events) >= 1

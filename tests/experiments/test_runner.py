@@ -1,0 +1,37 @@
+"""Tests for the experiment registry and CLI."""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, QUICK_SET, main, run_experiment
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_present(self):
+        artifacts = {artifact for _, artifact, _ in EXPERIMENTS.values()}
+        for expected in (
+            "Fig 2", "TABLE I", "TABLE II", "TABLE IV",
+            "Fig 4", "Fig 5", "Fig 7", "Fig 11", "Fig 12",
+            "Figs 8-9", "Section III-C.1", "Section IV-A",
+            "Section V-B", "Section V-C.1", "Section V-C.2", "Section VI",
+        ):
+            assert expected in artifacts, expected
+
+    def test_quick_set_excludes_slow(self):
+        for name in QUICK_SET:
+            assert EXPERIMENTS[name][2] != "slow"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            run_experiment("fig99")
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out and "spectre-stl" in out
+
+    def test_run_one(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "completed" in out

@@ -1,0 +1,51 @@
+"""Smoke tests: every shipped example runs to completion.
+
+The heavyweight examples (full attack campaigns, fingerprint datasets)
+are exercised through their underlying experiment tests; here we run the
+two fast ones end to end and check the others at least import cleanly.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_directory_has_at_least_six(self):
+        assert len(list(EXAMPLES.glob("*.py"))) >= 6
+
+    def test_quickstart_runs(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "7H, G" in out
+        assert "expected 15" in out
+
+    def test_covert_channel_demo_runs(self, capsys):
+        load_example("covert_channel_demo").main()
+        out = capsys.readouterr().out
+        assert "received b'hi'" in out
+        assert "bit errors: 0/16" in out
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "leak_across_processes",
+            "reverse_engineer_predictors",
+            "evaluate_mitigations",
+            "fingerprint_models",
+        ],
+    )
+    def test_heavy_examples_import(self, name):
+        module = load_example(name)
+        assert callable(module.main)

@@ -1,0 +1,74 @@
+"""Cross-stack integration: the paper's arc on a single machine.
+
+Reverse-engineer the predictors black-box, mount the attack, enable the
+mitigation, watch the attack die — all against one simulated platform.
+"""
+
+import pytest
+
+from repro.attacks.spectre_ctl import SpectreCTL
+from repro.core.config import ZEN3_MODELS
+from repro.cpu.machine import Machine
+from repro.revng.report import ReverseEngineeringCampaign
+from repro.revng.stld import StldHarness
+from repro.revng.timing import TimingClassifier
+
+
+class TestFullStory:
+    def test_reverse_engineer_then_attack_then_mitigate(self):
+        # Act I: black-box reverse engineering.
+        campaign = ReverseEngineeringCampaign(Machine(seed=7007))
+        dossier = campaign.run(
+            validation_sequences=4,
+            psfp_sizes=(11, 12),
+            ssbp_sizes=(16,),
+            eviction_trials=4,
+            collision_pairs=32,
+        )
+        assert dossier.psfp_entries == 12
+        assert dossier.hash_stride == 12
+
+        # Act II: the attack, on a fresh machine of the same model.
+        attack = SpectreCTL(machine=Machine(seed=7008))
+        attack.find_collisions()
+        report = attack.leak(b"\x5c")
+        assert report.recovered == b"\x5c"
+
+        # Act III: SSBD kills both the probing and the attack.
+        mitigated = Machine(seed=7009)
+        mitigated.core.set_ssbd(True)
+        harness = StldHarness(machine=mitigated)
+        classifier = TimingClassifier(harness)
+        classifier.calibrate()
+        assert classifier.margin() < 2.0  # levels collapsed: nothing to probe
+
+
+class TestAllPlatforms:
+    """Section III-D.3: all four TABLE III CPUs share the design."""
+
+    @pytest.mark.parametrize("name", sorted(ZEN3_MODELS))
+    def test_state_machine_identical_across_platforms(self, name):
+        machine = Machine(model=ZEN3_MODELS[name], seed=11)
+        harness = StldHarness(machine=machine)
+        from repro.revng.sequences import format_types
+
+        assert format_types(harness.run_events("7n, a, 7n")) == "7H, G, 4E, 3H"
+
+    @pytest.mark.parametrize("name", sorted(ZEN3_MODELS))
+    def test_timing_levels_separable_on_every_platform(self, name):
+        machine = Machine(model=ZEN3_MODELS[name], seed=12)
+        harness = StldHarness(machine=machine)
+        classifier = TimingClassifier(harness)
+        calibration = classifier.calibrate()
+        slowest = max(calibration.means.values())
+        assert classifier.margin() > 2 * slowest * machine.core.model.timer_noise
+
+
+class TestDeterminism:
+    def test_identical_machines_identical_attacks(self):
+        def campaign() -> bytes:
+            attack = SpectreCTL(machine=Machine(seed=555))
+            attack.find_collisions()
+            return attack.leak(b"\x77").recovered
+
+        assert campaign() == campaign() == b"\x77"

@@ -1,0 +1,87 @@
+"""Ablation: a Zen 2 style core (SSB only, no PSF).
+
+PSF shipped with Zen 3; a Zen 2 baseline isolates which of the paper's
+findings are PSF-specific:
+
+* PSF forwarding (types C/D) never occurs;
+* the black-box campaign *detects* the absence;
+* out-of-place Spectre-STL (built on PSFP) is infeasible;
+* Spectre-CTL (built on SSBP alone) still works — consistent with
+  Spectre-v4 history, which predates Zen 3.
+"""
+
+import pytest
+
+from repro.attacks.spectre_ctl import SpectreCTL
+from repro.attacks.spectre_stl import SpectreSTL
+from repro.core.config import zen2_model
+from repro.core.exec_types import ExecType
+from repro.cpu.machine import Machine
+from repro.errors import ReproError
+from repro.revng.report import ReverseEngineeringCampaign
+from repro.revng.stld import StldHarness
+
+
+def zen2_machine(seed: int = 17) -> Machine:
+    return Machine(model=zen2_model(), seed=seed)
+
+
+class TestZen2Behaviour:
+    def test_no_psf_types_ever(self):
+        harness = StldHarness(machine=zen2_machine())
+        types = harness.run_events("7n, a, 10a, 5n, 5a, 20n")
+        assert ExecType.C not in types
+        assert ExecType.D not in types
+
+    def test_ssbp_dynamics_survive(self):
+        """C3/C4 behave as on Zen 3: three G events charge the entry."""
+        harness = StldHarness(machine=zen2_machine())
+        types = harness.run_events("7n, a, 7n, a, 7n, a")
+        assert types.count(ExecType.G) == 3
+        tail = harness.run_events("16n")
+        assert tail[:15] == [ExecType.F] * 15
+
+    def test_aliasing_never_forwards_predictively(self):
+        """Post-training aliasing pairs stall forever (B), never C."""
+        harness = StldHarness(machine=zen2_machine())
+        harness.run_events("a, a, a")  # saturate C4, charge C3
+        sustained = harness.run_events("10a")
+        assert set(sustained) <= {ExecType.B, ExecType.G}
+
+
+class TestZen2Campaign:
+    def test_detector_flags_psf_absence(self):
+        campaign = ReverseEngineeringCampaign(zen2_machine())
+        assert campaign.detect_psf() is False
+
+    def test_detector_flags_psf_presence_on_zen3(self):
+        campaign = ReverseEngineeringCampaign(Machine(seed=18))
+        assert campaign.detect_psf() is True
+
+    def test_full_campaign_produces_ssb_only_dossier(self):
+        campaign = ReverseEngineeringCampaign(zen2_machine(seed=19))
+        dossier = campaign.run(
+            validation_sequences=3,
+            ssbp_sizes=(16,),
+            eviction_trials=4,
+            collision_pairs=24,
+        )
+        assert dossier.psf_present is False
+        assert dossier.psfp_entries is None
+        assert dossier.hash_stride == 12  # the selection hash is shared
+        assert "NOT present" in dossier.summary()
+
+
+class TestZen2Attacks:
+    def test_spectre_stl_is_infeasible(self):
+        """No PSFP, no predictive forward, no out-of-place Spectre-STL."""
+        attack = SpectreSTL(machine=zen2_machine(seed=20), slide_pages=4)
+        with pytest.raises(ReproError):
+            attack.find_collision(max_candidates=3)
+
+    def test_spectre_ctl_still_works(self):
+        """SSB predates Zen 3; the SSBP-only attack still leaks."""
+        attack = SpectreCTL(machine=zen2_machine(seed=21))
+        attack.find_collisions()
+        report = attack.leak(b"\x66")
+        assert report.recovered == b"\x66"

@@ -1,0 +1,45 @@
+"""Unit tests for the TLB model."""
+
+from repro.mem.tlb import Tlb
+
+
+class TestTlb:
+    def test_miss_then_hit(self):
+        tlb = Tlb()
+        assert tlb.lookup(5) is None
+        tlb.fill(5, 42)
+        assert tlb.lookup(5) == 42
+        assert tlb.hits == 1
+        assert tlb.misses == 1
+
+    def test_lru_eviction(self):
+        tlb = Tlb(entries=2)
+        tlb.fill(1, 10)
+        tlb.fill(2, 20)
+        tlb.lookup(1)
+        tlb.fill(3, 30)  # evicts page 2
+        assert tlb.lookup(2) is None
+        assert tlb.lookup(1) == 10
+
+    def test_refill_updates_frame(self):
+        tlb = Tlb()
+        tlb.fill(1, 10)
+        tlb.fill(1, 99)
+        assert tlb.lookup(1) == 99
+        assert tlb.occupancy == 1
+
+    def test_invalidate(self):
+        tlb = Tlb()
+        tlb.fill(1, 10)
+        tlb.invalidate(1)
+        assert tlb.lookup(1) is None
+
+    def test_invalidate_absent_is_noop(self):
+        Tlb().invalidate(7)  # must not raise
+
+    def test_flush(self):
+        tlb = Tlb()
+        tlb.fill(1, 10)
+        tlb.fill(2, 20)
+        tlb.flush()
+        assert tlb.occupancy == 0

@@ -1,0 +1,124 @@
+"""Property tests: kernel memory-management invariants.
+
+Random interleavings of map / write / fork / COW-break / shared-map
+operations must preserve the fundamental invariants: private writes
+never bleed between processes, shared writes always do, and every
+process always reads back its own last write.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.core import Core
+from repro.mem.physical import PAGE_SIZE
+from repro.osm.address_space import Perm
+from repro.osm.kernel import Kernel
+
+
+class KernelModel:
+    """Oracle: per-process expected byte images of every region."""
+
+    def __init__(self, seed: int) -> None:
+        self.kernel = Kernel(Core(seed=seed))
+        self.rng = random.Random(seed ^ 0xBEEF)
+        root = self.kernel.create_process("root")
+        base = self.kernel.map_anonymous(root, pages=2)
+        self.processes = [root]
+        self.base = base
+        # expected[pid] = bytearray image of the region
+        self.expected = {root.pid: bytearray(2 * PAGE_SIZE)}
+        self.shared_with_root: set[int] = set()
+
+    def op_write(self) -> None:
+        process = self.rng.choice(self.processes)
+        offset = self.rng.randrange(0, 2 * PAGE_SIZE - 8)
+        payload = bytes(self.rng.randrange(256) for _ in range(8))
+        self.kernel.write(process, self.base + offset, payload)
+        if process.pid in self.shared_with_root:
+            # Shared mapping: every sharer sees the write.
+            for pid in list(self.shared_with_root) + [self.processes[0].pid]:
+                self.expected[pid][offset : offset + 8] = payload
+        elif process.pid == self.processes[0].pid and self.shared_with_root:
+            for pid in list(self.shared_with_root) + [process.pid]:
+                self.expected[pid][offset : offset + 8] = payload
+        else:
+            self.expected[process.pid][offset : offset + 8] = payload
+
+    def op_fork(self) -> None:
+        if self.shared_with_root or len(self.processes) >= 5:
+            return  # keep the model simple: fork only private trees
+        parent = self.processes[0]
+        child = self.kernel.fork(parent)
+        self.processes.append(child)
+        self.expected[child.pid] = bytearray(self.expected[parent.pid])
+
+    def op_share(self) -> None:
+        if len(self.processes) >= 5 or len(self.processes) > 1:
+            return  # one sharer, established before any fork, is enough
+        root = self.processes[0]
+        peer = self.kernel.create_process("peer")
+        mapped = self.kernel.map_shared(peer, root, self.base, pages=2)
+        assert mapped is not None
+        self.peer_base = mapped
+        self.processes.append(peer)
+        self.expected[peer.pid] = bytearray(self.expected[root.pid])
+        self.shared_with_root.add(peer.pid)
+
+    def check(self) -> None:
+        for process in self.processes:
+            base = (
+                self.peer_base
+                if process.pid in self.shared_with_root
+                else self.base
+            )
+            actual = self.kernel.read(process, base, 2 * PAGE_SIZE)
+            assert actual == bytes(self.expected[process.pid]), process.name
+
+    # write through the peer's own mapping address
+    def run(self, ops: list[int]) -> None:
+        table = [self.op_write, self.op_fork, self.op_share]
+        for op in ops:
+            table[op % len(table)]()
+            self.check()
+
+
+class TestKernelInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000), st.lists(st.integers(0, 2), max_size=30))
+    def test_random_interleavings(self, seed, ops):
+        model = KernelModel(seed)
+        # Adjust writes through the peer's own base when shared.
+        original_write = model.op_write
+
+        def routed_write():
+            process = model.rng.choice(model.processes)
+            offset = model.rng.randrange(0, 2 * PAGE_SIZE - 8)
+            payload = bytes(model.rng.randrange(256) for _ in range(8))
+            base = (
+                model.peer_base
+                if process.pid in model.shared_with_root
+                else model.base
+            )
+            model.kernel.write(process, base + offset, payload)
+            if process.pid in model.shared_with_root or (
+                process.pid == model.processes[0].pid and model.shared_with_root
+            ):
+                affected = set(model.shared_with_root) | {model.processes[0].pid}
+            else:
+                affected = {process.pid}
+            for pid in affected:
+                model.expected[pid][offset : offset + 8] = payload
+
+        model.op_write = routed_write
+        model.run(ops)
+
+    def test_fork_chain_isolation(self):
+        """Writes after a fork chain stay within the writing process."""
+        model = KernelModel(77)
+        model.op_fork()
+        model.op_fork()
+        for _ in range(12):
+            model.op_write()
+            model.check()

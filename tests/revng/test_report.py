@@ -1,0 +1,50 @@
+"""Tests for the one-call reverse-engineering campaign."""
+
+import pytest
+
+from repro.cpu.machine import Machine
+from repro.revng.report import PredictorDossier, ReverseEngineeringCampaign
+
+
+@pytest.fixture(scope="module")
+def dossier():
+    campaign = ReverseEngineeringCampaign(Machine(seed=404))
+    return campaign.run(
+        validation_sequences=5,
+        psfp_sizes=(10, 11, 12, 13),
+        ssbp_sizes=(8, 32),
+        eviction_trials=5,
+    )
+
+
+class TestCampaign:
+    def test_recovers_psfp_size(self, dossier):
+        assert dossier.psfp_entries == 12
+
+    def test_recovers_hash_stride(self, dossier):
+        assert dossier.hash_stride == 12
+
+    def test_model_agreement(self, dossier):
+        assert dossier.model_agreement > 0.998
+
+    def test_six_timing_levels(self, dossier):
+        assert len(dossier.timing_levels) == 6
+        assert dossier.timing_margin >= 2.0
+
+    def test_ssbp_curve_is_gradual(self, dossier):
+        assert 0 < dossier.ssbp_eviction_rates[8] < 1
+        assert dossier.ssbp_eviction_rates[32] > dossier.ssbp_eviction_rates[8]
+
+    def test_summary_renders(self, dossier):
+        text = dossier.summary()
+        for fragment in ("timing levels", "PSFP entries", "stride"):
+            assert fragment in text
+
+    def test_empty_dossier_summary(self):
+        assert "Predictor dossier" in PredictorDossier().summary()
+
+    def test_separable_property(self):
+        campaign = ReverseEngineeringCampaign(Machine(seed=405))
+        assert not campaign.separable  # not calibrated yet
+        campaign.classifier.calibrate()
+        assert campaign.separable

@@ -1,0 +1,108 @@
+"""Tests for the stld sequence DSL."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.exec_types import ExecType
+from repro.revng.sequences import (
+    SequenceSyntaxError,
+    StldToken,
+    format_sequence,
+    format_types,
+    parse,
+    parse_types,
+    to_bools,
+)
+
+
+class TestParse:
+    def test_single_token(self):
+        assert parse("n") == [StldToken(aliasing=False)]
+
+    def test_counted_token(self):
+        assert parse("3a") == [StldToken(aliasing=True)] * 3
+
+    def test_mixed(self):
+        tokens = parse("2n, a")
+        assert [t.kind for t in tokens] == ["n", "n", "a"]
+
+    def test_annotated(self):
+        (token,) = parse("a:0:1")
+        assert token == StldToken(aliasing=True, load_id=0, store_id=1)
+
+    def test_counted_annotated(self):
+        tokens = parse("6a:0:1")
+        assert len(tokens) == 6
+        assert all(t.store_id == 1 for t in tokens)
+
+    def test_parenthesised_paper_style(self):
+        assert parse("(7n, a)") == parse("7n, a")
+
+    def test_whitespace_tolerant(self):
+        assert parse(" 2n ,a ") == parse("2n,a")
+
+    def test_empty_chunks_ignored(self):
+        assert parse("n,,a") == parse("n,a")
+
+    @pytest.mark.parametrize("bad", ["x", "3", "n:1", "a:b:c", "-2n", "n a"])
+    def test_bad_tokens_rejected(self, bad):
+        with pytest.raises(SequenceSyntaxError):
+            parse(bad)
+
+
+class TestToBools:
+    def test_plain(self):
+        assert to_bools("n, a, n") == [False, True, False]
+
+    def test_accepts_token_list(self):
+        assert to_bools(parse("2a")) == [True, True]
+
+    def test_rejects_annotated(self):
+        with pytest.raises(SequenceSyntaxError):
+            to_bools("a:0:1")
+
+
+class TestFormatting:
+    def test_format_sequence_runs(self):
+        assert format_sequence(parse("3n, a")) == "3n, a"
+
+    def test_format_sequence_annotated(self):
+        assert format_sequence(parse("2a:1:2")) == "2a:1:2"
+
+    def test_format_types(self):
+        types = [ExecType.H, ExecType.H, ExecType.G]
+        assert format_types(types) == "2H, G"
+
+    def test_parse_types(self):
+        assert parse_types("2H, G") == [ExecType.H, ExecType.H, ExecType.G]
+
+    def test_parse_types_rejects_garbage(self):
+        with pytest.raises(SequenceSyntaxError):
+            parse_types("2Z")
+
+    def test_types_roundtrip(self):
+        text = "4E, 3H, G, 2D"
+        assert format_types(parse_types(text)) == text
+
+
+sequences = st.lists(
+    st.tuples(st.integers(1, 9), st.booleans(), st.integers(0, 3), st.integers(0, 3)),
+    min_size=1,
+    max_size=10,
+)
+
+
+class TestRoundtrips:
+    @given(sequences)
+    def test_parse_format_roundtrip(self, spec):
+        tokens = [
+            token
+            for count, aliasing, load_id, store_id in spec
+            for token in [StldToken(aliasing, load_id, store_id)] * count
+        ]
+        assert parse(format_sequence(tokens)) == tokens
+
+    @given(st.lists(st.sampled_from(list(ExecType)), min_size=1, max_size=40))
+    def test_types_format_parse_roundtrip(self, types):
+        assert parse_types(format_types(types)) == types
