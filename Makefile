@@ -1,0 +1,38 @@
+# Convenience targets for the repro package.  Everything assumes the
+# source layout (PYTHONPATH=src) so no install step is needed.
+
+PY      ?= python
+JOBS    ?= 4
+RESULTS ?= results
+
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test experiments-quick experiments-check experiments-all regen-experiments-md clean-cache
+
+test:
+	$(PY) -m pytest -x -q
+
+## Fast-tier campaign with parallel workers and JSON artifacts.
+experiments-quick:
+	$(PY) -m repro.experiments.runner --cost fast --jobs $(JOBS) --json $(RESULTS)
+
+## Opt-in determinism check: the fast tier must produce identical rows,
+## metrics and seeds under --jobs 1 and --jobs $(JOBS).  Regressions in
+## driver determinism (global RNG use, order dependence) surface here.
+experiments-check:
+	rm -rf $(RESULTS)-serial $(RESULTS)-parallel
+	$(PY) -m repro.experiments.runner --cost fast --jobs 1       --no-cache --json $(RESULTS)-serial
+	$(PY) -m repro.experiments.runner --cost fast --jobs $(JOBS) --no-cache --json $(RESULTS)-parallel
+	$(PY) -m repro.experiments.report --compare $(RESULTS)-serial $(RESULTS)-parallel
+	rm -rf $(RESULTS)-serial $(RESULTS)-parallel
+
+## The full campaign (slow leak evaluations included).
+experiments-all:
+	$(PY) -m repro.experiments.runner --all --jobs $(JOBS) --json $(RESULTS)
+
+## Rewrite EXPERIMENTS.md's generated measured-values table from artifacts.
+regen-experiments-md: experiments-all
+	$(PY) -m repro.experiments.report --json $(RESULTS) --write EXPERIMENTS.md
+
+clean-cache:
+	rm -rf .repro-cache

@@ -41,6 +41,25 @@ class SimulationLimitExceeded(ReproError):
     """A simulated program ran past its instruction or cycle budget."""
 
 
+class UnknownExperimentError(ReproError):
+    """An experiment name was not found in the campaign registry.
+
+    Raised by :func:`repro.experiments.runner.run_experiment` (and the
+    campaign scheduler) instead of ``SystemExit`` so that library callers
+    can recover; the CLI translates it to exit code 2.
+    """
+
+    def __init__(self, name: str, known: "list[str] | None" = None) -> None:
+        self.name = name
+        self.known = list(known or [])
+        hint = f"; known: {', '.join(self.known)}" if self.known else ""
+        super().__init__(f"unknown experiment {name!r}{hint}")
+
+
+class ArtifactError(ReproError):
+    """A result artifact or cache entry could not be read or validated."""
+
+
 class AttackError(ReproError):
     """An attack primitive could not complete (e.g. no collision found)."""
 

@@ -1,10 +1,19 @@
 """Experiment drivers: one module per paper table/figure (DESIGN.md E1-E17).
 
-Run them via the ``repro-experiments`` CLI
-(:mod:`repro.experiments.runner`) or import the modules directly; every
-driver returns an :class:`repro.experiments.base.ExperimentResult`.
+Run them via the ``repro-experiments`` CLI — a parallel, cached campaign
+engine (:mod:`repro.experiments.runner`) — or import the modules
+directly; every driver takes an explicit ``seed`` and returns an
+:class:`repro.experiments.base.ExperimentResult`.  Results serialize to
+JSON artifacts (:mod:`repro.experiments.artifacts`), are cached
+content-addressed (:mod:`repro.experiments.cache`), and feed the
+measured-values tables (:mod:`repro.experiments.report`).  The catalog
+of all 21 experiments is docs/experiments.md.
 """
 
-from repro.experiments.base import ExperimentResult, format_table
+from repro.experiments.base import (
+    RESULT_SCHEMA_VERSION,
+    ExperimentResult,
+    format_table,
+)
 
-__all__ = ["ExperimentResult", "format_table"]
+__all__ = ["ExperimentResult", "format_table", "RESULT_SCHEMA_VERSION"]

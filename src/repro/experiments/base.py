@@ -10,7 +10,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
-__all__ = ["ExperimentResult", "format_table"]
+from repro.errors import ArtifactError
+
+__all__ = ["ExperimentResult", "format_table", "RESULT_SCHEMA_VERSION"]
+
+#: Version stamp embedded in every serialized result; bump on layout changes.
+RESULT_SCHEMA_VERSION = 1
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce a table cell into something the json module round-trips.
+
+    Result rows hold strings, numbers and booleans; anything richer (an
+    enum, a numpy scalar) degrades to ``str`` so artifacts stay portable.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    return str(value)
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
@@ -40,6 +58,11 @@ class ExperimentResult:
     paper_claim: str = ""
     #: Free-form measured summary values keyed by name (for EXPERIMENTS.md).
     metrics: dict[str, float | str] = field(default_factory=dict)
+    #: Run metadata, filled in by the campaign runner (not by drivers).
+    seed: int | None = None
+    wall_time_s: float | None = None
+    worker: str | None = None
+    cache_hit: bool = False
 
     def add_row(self, *cells) -> None:
         self.rows.append(list(cells))
@@ -59,3 +82,52 @@ class ExperimentResult:
             )
         parts.extend(f"note: {note}" for note in self.notes)
         return "\n".join(parts)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize to a JSON-safe dict (the artifact schema)."""
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [[_json_safe(cell) for cell in row] for row in self.rows],
+            "notes": list(self.notes),
+            "paper_claim": self.paper_claim,
+            "metrics": {key: _json_safe(val) for key, val in self.metrics.items()},
+            "seed": self.seed,
+            "wall_time_s": self.wall_time_s,
+            "worker": self.worker,
+            "cache_hit": self.cache_hit,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Raises :class:`repro.errors.ArtifactError` on a missing or
+        incompatible schema stamp or missing required keys.
+        """
+        if not isinstance(data, dict):
+            raise ArtifactError(f"artifact must be a dict, got {type(data).__name__}")
+        schema = data.get("schema")
+        if schema != RESULT_SCHEMA_VERSION:
+            raise ArtifactError(
+                f"unsupported artifact schema {schema!r} "
+                f"(this library reads version {RESULT_SCHEMA_VERSION})"
+            )
+        try:
+            return cls(
+                experiment_id=data["experiment_id"],
+                title=data["title"],
+                headers=list(data["headers"]),
+                rows=[list(row) for row in data.get("rows", [])],
+                notes=list(data.get("notes", [])),
+                paper_claim=data.get("paper_claim", ""),
+                metrics=dict(data.get("metrics", {})),
+                seed=data.get("seed"),
+                wall_time_s=data.get("wall_time_s"),
+                worker=data.get("worker"),
+                cache_hit=bool(data.get("cache_hit", False)),
+            )
+        except KeyError as exc:
+            raise ArtifactError(f"artifact missing required key {exc}") from exc

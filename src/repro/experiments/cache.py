@@ -1,0 +1,108 @@
+"""Content-addressed cache for experiment results.
+
+A campaign re-run should not repeat work whose inputs have not changed.
+Every experiment is a pure function of (driver, seed, platform model,
+library version), so the cache key is the SHA-256 of exactly those
+inputs, canonically serialized:
+
+* **experiment name** — the registry key, which pins the driver;
+* **seed** — the effective seed the driver ran with;
+* **CpuModel** — every field of the platform config (a frozen dataclass;
+  ``dataclasses.asdict`` recurses into the nested ``LatencyModel``), so
+  editing a latency or queue size invalidates prior results;
+* **package version** — ``repro.__version__``; code changes that matter
+  are expected to ride a version bump (``--no-cache`` or
+  :meth:`ResultCache.clear` covers local development in between).
+
+Entries are the same JSON documents as the artifacts in ``results/``
+(:mod:`repro.experiments.artifacts`), stored under
+``.repro-cache/<key[:2]>/<key>.json``.  A corrupt or schema-incompatible
+entry behaves as a miss and is removed, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import shutil
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.core.config import CpuModel, default_model
+from repro.errors import ArtifactError
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["ResultCache", "cache_key", "DEFAULT_CACHE_DIR"]
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def cache_key(
+    name: str,
+    seed: int | None,
+    model: CpuModel | None = None,
+    version: str | None = None,
+) -> str:
+    """Derive the content address for one experiment configuration."""
+    from repro import __version__  # local import: repro/__init__ imports widely
+
+    fingerprint = {
+        "experiment": name,
+        "seed": seed,
+        "model": asdict(model or default_model()),
+        "version": version if version is not None else __version__,
+    }
+    canonical = json.dumps(fingerprint, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Filesystem-backed result store keyed by :func:`cache_key`."""
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _entry(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> ExperimentResult | None:
+        """Return the cached result for ``key``, or None on a miss.
+
+        A hit is returned with ``cache_hit=True`` so downstream rendering
+        and manifests can tell replayed results from fresh ones.
+        """
+        path = self._entry(key)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            result = ExperimentResult.from_dict(data)
+        except (FileNotFoundError, json.JSONDecodeError, ArtifactError):
+            if path.exists():
+                path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        result.cache_hit = True
+        return result
+
+    def put(self, key: str, result: ExperimentResult) -> Path:
+        """Store ``result`` under ``key`` (atomically enough for one host)."""
+        path = self._entry(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        stored = result.to_dict()
+        stored["cache_hit"] = False  # the stamp is per-run, not part of content
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(
+            json.dumps(stored, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        tmp.replace(path)
+        return path
+
+    def clear(self) -> None:
+        shutil.rmtree(self.root, ignore_errors=True)
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

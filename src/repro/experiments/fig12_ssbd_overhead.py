@@ -8,8 +8,12 @@ from repro.mitigations.ssbd import ssbd_overhead
 __all__ = ["run"]
 
 
-def run(operations: int = 300, repetitions: int = 3) -> ExperimentResult:
-    timings = ssbd_overhead(operations=operations, repetitions=repetitions)
+def run(
+    operations: int = 300, repetitions: int = 3, seed: int = 0
+) -> ExperimentResult:
+    timings = ssbd_overhead(
+        operations=operations, repetitions=repetitions, seed=seed
+    )
     result = ExperimentResult(
         experiment_id="fig12",
         title="Performance evaluation of SSBD on SPEC2017-like workloads",

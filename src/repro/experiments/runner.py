@@ -1,17 +1,38 @@
-"""Experiment registry and CLI runner.
+"""Experiment registry and campaign runner.
 
 ``repro-experiments --list`` shows every table/figure reproduction;
 ``repro-experiments fig2 table1`` runs a selection; no arguments runs
 the quick set (everything but the long leak campaigns).
+
+The runner is a campaign engine, not a loop:
+
+* **parallel scheduling** — every driver builds its own ``Machine``, so
+  experiments are embarrassingly parallel; ``--jobs N`` fans them out
+  across a :class:`concurrent.futures.ProcessPoolExecutor`;
+* **result cache** — results are content-addressed by (experiment name,
+  seed, :class:`CpuModel`, package version) under ``.repro-cache/``;
+  unchanged experiments are replayed from disk (``--no-cache`` opts out);
+* **JSON artifacts** — ``--json DIR`` writes each result to
+  ``DIR/<name>.json`` plus a ``campaign.json`` manifest, the inputs to
+  :mod:`repro.experiments.report`.
+
+Rendered output is emitted in request order whatever the completion
+order, so ``--jobs 8`` and ``--jobs 1`` print byte-identical reports.
+See docs/experiments.md for the full catalog.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
-from typing import Callable
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Sequence
 
+from repro.errors import UnknownExperimentError
 from repro.experiments import (
     attack_evals,
     fig2_exec_types,
@@ -30,48 +51,214 @@ from repro.experiments import (
     table3_platforms,
     table4_comparison,
 )
+from repro.experiments.artifacts import write_artifact, write_manifest
 from repro.experiments.base import ExperimentResult
+from repro.experiments.cache import DEFAULT_CACHE_DIR, ResultCache, cache_key
 
-__all__ = ["EXPERIMENTS", "QUICK_SET", "run_experiment", "main"]
+__all__ = [
+    "EXPERIMENTS",
+    "QUICK_SET",
+    "COST_TIERS",
+    "ExperimentSpec",
+    "run_experiment",
+    "run_campaign",
+    "main",
+]
 
-#: name -> (driver, paper artifact, rough cost)
-EXPERIMENTS: dict[str, tuple[Callable[[], ExperimentResult], str, str]] = {
-    "fig2": (fig2_exec_types.run, "Fig 2", "fast"),
-    "table1": (table1_state_machine.run, "TABLE I", "fast"),
-    "sec3-selection": (sec3_selection.run, "Section III-C.1", "fast"),
-    "fig4": (fig4_hash.run, "Fig 4", "fast"),
-    "table2": (table2_counters.run, "TABLE II", "fast"),
-    "fig5": (fig5_eviction.run, "Fig 5", "medium"),
-    "sec4-isolation": (sec4_isolation.run, "Section IV-A", "fast"),
-    "fig7": (fig7_collisions.run, "Fig 7", "medium"),
-    "sec4-transient": (sec4_transient.run, "Figs 8-9", "fast"),
-    "spectre-stl": (attack_evals.run_stl, "Section V-B", "slow"),
-    "spectre-ctl": (attack_evals.run_ctl, "Section V-C.1", "slow"),
-    "spectre-ctl-web": (attack_evals.run_web, "Section V-C.2", "slow"),
-    "attack-comparison": (attack_evals.run_all, "Section V", "slow"),
-    "fig11": (fig11_fingerprint.run, "Fig 11", "slow"),
-    "fig12": (fig12_ssbd_overhead.run, "Fig 12", "fast"),
-    "table3": (table3_platforms.run, "TABLE III", "slow"),
-    "table4": (table4_comparison.run, "TABLE IV", "medium"),
-    "sec6-mitigations": (sec6_mitigations.run, "Section VI", "slow"),
-    "covert-channel": (sec5_extensions.run_covert_channel, "Section IV-D", "medium"),
-    "stl-inplace": (sec5_extensions.run_stl_inplace, "Section V-B", "slow"),
-    "address-leak": (sec5_extensions.run_address_leak, "Section V-D", "medium"),
+COST_TIERS = ("fast", "medium", "slow")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registry entry: the driver plus its catalog metadata."""
+
+    driver: Callable[..., ExperimentResult]
+    artifact: str          # paper table/figure/section this regenerates
+    cost: str              # "fast" | "medium" | "slow"
+    default_seed: int      # the driver's own default, made explicit
+
+
+#: name -> spec; insertion order is the paper's presentation order.
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    "fig2": ExperimentSpec(fig2_exec_types.run, "Fig 2", "fast", 2024),
+    "table1": ExperimentSpec(table1_state_machine.run, "TABLE I", "fast", 11),
+    "sec3-selection": ExperimentSpec(sec3_selection.run, "Section III-C.1", "fast", 31),
+    "fig4": ExperimentSpec(fig4_hash.run, "Fig 4", "fast", 4),
+    "table2": ExperimentSpec(table2_counters.run, "TABLE II", "fast", 2024),
+    "fig5": ExperimentSpec(fig5_eviction.run, "Fig 5", "medium", 2024),
+    "sec4-isolation": ExperimentSpec(sec4_isolation.run, "Section IV-A", "fast", 77),
+    "fig7": ExperimentSpec(fig7_collisions.run, "Fig 7", "medium", 900),
+    "sec4-transient": ExperimentSpec(sec4_transient.run, "Figs 8-9", "fast", 8),
+    "spectre-stl": ExperimentSpec(attack_evals.run_stl, "Section V-B", "slow", 5150),
+    "spectre-ctl": ExperimentSpec(attack_evals.run_ctl, "Section V-C.1", "slow", 5151),
+    "spectre-ctl-web": ExperimentSpec(attack_evals.run_web, "Section V-C.2", "slow", 5152),
+    "attack-comparison": ExperimentSpec(attack_evals.run_all, "Section V", "slow", 5150),
+    "fig11": ExperimentSpec(fig11_fingerprint.run, "Fig 11", "slow", 7),
+    "fig12": ExperimentSpec(fig12_ssbd_overhead.run, "Fig 12", "fast", 0),
+    "table3": ExperimentSpec(table3_platforms.run, "TABLE III", "slow", 1900),
+    "table4": ExperimentSpec(table4_comparison.run, "TABLE IV", "medium", 4000),
+    "sec6-mitigations": ExperimentSpec(sec6_mitigations.run, "Section VI", "slow", 616),
+    "covert-channel": ExperimentSpec(
+        sec5_extensions.run_covert_channel, "Section IV-D", "medium", 42
+    ),
+    "stl-inplace": ExperimentSpec(
+        sec5_extensions.run_stl_inplace, "Section V-B", "slow", 24
+    ),
+    "address-leak": ExperimentSpec(
+        sec5_extensions.run_address_leak, "Section V-D", "medium", 808
+    ),
 }
 
 #: Default selection: everything that completes within a couple minutes.
-QUICK_SET = [
-    name for name, (_, _, cost) in EXPERIMENTS.items() if cost != "slow"
-]
+QUICK_SET = [name for name, spec in EXPERIMENTS.items() if spec.cost != "slow"]
 
 
-def run_experiment(name: str) -> ExperimentResult:
+def _spec(name: str) -> ExperimentSpec:
     try:
-        driver, _, _ = EXPERIMENTS[name]
+        return EXPERIMENTS[name]
     except KeyError:
-        known = ", ".join(EXPERIMENTS)
-        raise SystemExit(f"unknown experiment {name!r}; known: {known}") from None
-    return driver()
+        raise UnknownExperimentError(name, known=list(EXPERIMENTS)) from None
+
+
+def effective_seed(name: str, seed: int | None = None) -> int:
+    """The seed experiment ``name`` actually runs with.
+
+    ``seed`` overrides; None falls back to the driver's published default
+    (part of the registry so cache keys are stable and documented).
+    """
+    return _spec(name).default_seed if seed is None else seed
+
+
+def run_experiment(name: str, seed: int | None = None) -> ExperimentResult:
+    """Run one experiment driver synchronously and return its result.
+
+    Raises :class:`repro.errors.UnknownExperimentError` for names not in
+    the registry — never ``SystemExit``; the CLI owns exit codes.
+    """
+    spec = _spec(name)
+    return spec.driver(seed=effective_seed(name, seed))
+
+
+def _execute(name: str, seed: int | None) -> dict[str, Any]:
+    """Worker entry point: run one experiment, return the artifact dict.
+
+    Runs in the pool processes under ``--jobs N`` (and inline for serial
+    runs, so both paths produce identical JSON-normalized results).  The
+    dict form crosses the process boundary instead of the dataclass so a
+    worker can never ship cells the artifact layer would not round-trip.
+    """
+    started = time.perf_counter()
+    result = run_experiment(name, seed)
+    result.seed = effective_seed(name, seed)
+    result.wall_time_s = round(time.perf_counter() - started, 3)
+    result.worker = f"pid:{os.getpid()}"
+    return result.to_dict()
+
+
+def run_campaign(
+    names: Sequence[str],
+    *,
+    jobs: int = 1,
+    seed: int | None = None,
+    use_cache: bool = True,
+    cache_dir: str | Path = DEFAULT_CACHE_DIR,
+    json_dir: str | Path | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> list[ExperimentResult]:
+    """Run a set of experiments, possibly in parallel, with caching.
+
+    Returns results in ``names`` order regardless of completion order.
+    Unknown names raise :class:`UnknownExperimentError` before any work
+    is scheduled.  ``progress`` (if given) receives one human-readable
+    line per completion event.
+    """
+    for name in names:
+        _spec(name)
+    say = progress or (lambda line: None)
+    cache = ResultCache(cache_dir) if use_cache else None
+
+    results: dict[str, ExperimentResult] = {}
+    keys: dict[str, str] = {}
+    pending: list[str] = []
+    for name in names:
+        keys[name] = cache_key(name, effective_seed(name, seed))
+        cached = cache.get(keys[name]) if cache is not None else None
+        if cached is not None:
+            results[name] = cached
+            say(f"{name}: cache hit ({keys[name][:12]})")
+        else:
+            pending.append(name)
+
+    if pending and jobs > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {
+                pool.submit(_execute, name, seed): name for name in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    name = futures[future]
+                    result = ExperimentResult.from_dict(future.result())
+                    results[name] = result
+                    say(f"{name}: completed in {result.wall_time_s:.1f}s "
+                        f"[{result.worker}]")
+    else:
+        for name in pending:
+            result = ExperimentResult.from_dict(_execute(name, seed))
+            results[name] = result
+            say(f"{name}: completed in {result.wall_time_s:.1f}s")
+
+    if cache is not None:
+        for name in pending:
+            cache.put(keys[name], results[name])
+
+    ordered = [results[name] for name in names]
+    if json_dir is not None:
+        for name, result in zip(names, ordered):
+            write_artifact(result, json_dir, name)
+        write_manifest(
+            json_dir,
+            (
+                {
+                    "name": name,
+                    "seed": result.seed,
+                    "wall_time_s": result.wall_time_s,
+                    "worker": result.worker,
+                    "cache_hit": result.cache_hit,
+                    "cache_key": keys[name],
+                }
+                for name, result in zip(names, ordered)
+            ),
+            jobs=jobs,
+            cached=sum(result.cache_hit for result in ordered),
+            version=_version(),
+        )
+    return ordered
+
+
+def _version() -> str:
+    from repro import __version__
+
+    return __version__
+
+
+class _UsageError(Exception):
+    """Bad CLI usage (not an unknown experiment); exits 2 like argparse."""
+
+
+def _select(args: argparse.Namespace) -> list[str]:
+    names = list(args.names) or (list(EXPERIMENTS) if args.all else list(QUICK_SET))
+    if args.cost:
+        tiers = {tier.strip() for tier in args.cost.split(",")}
+        unknown = tiers - set(COST_TIERS)
+        if unknown:
+            raise _UsageError(
+                f"unknown cost tier(s): {', '.join(sorted(unknown))}; "
+                f"choose from {', '.join(COST_TIERS)}"
+            )
+        names = [name for name in names if EXPERIMENTS[name].cost in tiers]
+    return names
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -82,20 +269,63 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("names", nargs="*", help="experiments to run")
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument("--all", action="store_true", help="run everything")
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="worker processes (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--json", metavar="DIR", default=None,
+        help="write per-experiment JSON artifacts and a campaign manifest",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override every driver's default seed",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="always re-run; do not read or write the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+        help=f"result cache location (default {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--cost", default=None, metavar="TIERS",
+        help="filter the selection by cost tier(s), e.g. fast or fast,medium",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
-        for name, (_, artifact, cost) in EXPERIMENTS.items():
-            print(f"{name:20s} {artifact:18s} [{cost}]")
+        for name, spec in EXPERIMENTS.items():
+            print(f"{name:20s} {spec.artifact:18s} [{spec.cost}]")
         return 0
 
-    names = args.names or (list(EXPERIMENTS) if args.all else QUICK_SET)
-    for name in names:
-        started = time.time()
-        result = run_experiment(name)
+    try:
+        names = _select(args)
+        started = time.perf_counter()
+        results = run_campaign(
+            names,
+            jobs=max(1, args.jobs),
+            seed=args.seed,
+            use_cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            json_dir=args.json,
+            progress=lambda line: print(f"  .. {line}", file=sys.stderr),
+        )
+    except (UnknownExperimentError, _UsageError) as exc:
+        print(f"repro-experiments: {exc}", file=sys.stderr)
+        return 2
+
+    for name, result in zip(names, results):
         print(result.render())
-        print(f"[{name} completed in {time.time() - started:.1f}s]")
+        suffix = " (cached)" if result.cache_hit else ""
+        print(f"[{name} completed in {result.wall_time_s:.1f}s{suffix}]")
         print()
+    cached = sum(result.cache_hit for result in results)
+    print(
+        f"campaign: {len(results)} experiments, {cached} from cache, "
+        f"{time.perf_counter() - started:.1f}s wall with --jobs {max(1, args.jobs)}"
+    )
     return 0
 
 

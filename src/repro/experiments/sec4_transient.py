@@ -58,9 +58,9 @@ def _touched(machine, process, vaddr) -> bool:
     return machine.core.hierarchy.probe_level(paddr) is not CacheLevel.MEMORY
 
 
-def _fig8_psfp(result: ExperimentResult) -> None:
+def _fig8_psfp(result: ExperimentResult, seed: int) -> None:
     """PSF misprediction: 0xdd forwarded to a load of a different address."""
-    machine = Machine(seed=8)
+    machine = Machine(seed=seed)
     process = machine.kernel.create_process("fig8-psfp")
     buf = machine.kernel.map_anonymous(process, pages=1)
     probe = machine.kernel.map_anonymous(process, pages=257)
@@ -103,9 +103,9 @@ def _fig8_psfp(result: ExperimentResult) -> None:
     )
 
 
-def _fig8_ssbp(result: ExperimentResult) -> None:
+def _fig8_ssbp(result: ExperimentResult, seed: int) -> None:
     """Bypass misprediction: the stale 0xcc read under the pending store."""
-    machine = Machine(seed=9)
+    machine = Machine(seed=seed)
     process = machine.kernel.create_process("fig8-ssbp")
     buf = machine.kernel.map_anonymous(process, pages=1)
     probe = machine.kernel.map_anonymous(process, pages=257)
@@ -123,10 +123,10 @@ def _fig8_ssbp(result: ExperimentResult) -> None:
     )
 
 
-def _fig9_windows(result: ExperimentResult) -> None:
+def _fig9_windows(result: ExperimentResult, seed: int) -> None:
     """Predictor updates inside each window type survive the squash."""
     # --- branch misprediction window
-    machine = Machine(seed=10)
+    machine = Machine(seed=seed)
     process = machine.kernel.create_process("fig9-branch")
     buf = machine.kernel.map_anonymous(process, pages=1)
     instructions = [Mov("cond", "seed")]
@@ -160,7 +160,7 @@ def _fig9_windows(result: ExperimentResult) -> None:
     )
 
     # --- faulting-load window
-    machine = Machine(seed=11)
+    machine = Machine(seed=seed + 1)
     process = machine.kernel.create_process("fig9-fault")
     buf = machine.kernel.map_anonymous(process, pages=1)
     instructions = [MovImm("bad", 0xDEAD0000), Load("x", base="bad"),
@@ -189,7 +189,7 @@ def _fig9_windows(result: ExperimentResult) -> None:
     )
 
     # --- memory (bypass) misprediction window
-    machine = Machine(seed=12)
+    machine = Machine(seed=seed + 2)
     process = machine.kernel.create_process("fig9-mem")
     buf = machine.kernel.map_anonymous(process, pages=1)
     instructions = [MovImm("sbase", buf), Mov("t", "sbase")]
@@ -212,7 +212,7 @@ def _fig9_windows(result: ExperimentResult) -> None:
     )
 
 
-def run() -> ExperimentResult:
+def run(seed: int = 8) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="sec4-transient",
         title="Transient execution (Fig 8) and transient updates (Fig 9)",
@@ -223,9 +223,9 @@ def run() -> ExperimentResult:
             "rollback (Vuln 4)"
         ),
     )
-    _fig8_psfp(result)
-    _fig8_ssbp(result)
-    _fig9_windows(result)
+    _fig8_psfp(result, seed)
+    _fig8_ssbp(result, seed + 1)
+    _fig9_windows(result, seed + 2)
     result.metrics["vulnerability_3_confirmed"] = str(
         all(row[2] for row in result.rows[:2])
     )

@@ -19,6 +19,7 @@ from repro.attacks.address_leak import AddressMappingLeak
 from repro.attacks.covert_channel import SsbpCovertChannel
 from repro.attacks.spectre_stl import SpectreSTL
 from repro.attacks.spectre_stl_inplace import SpectreSTLInPlace
+from repro.cpu.machine import Machine
 from repro.experiments.base import ExperimentResult
 
 __all__ = ["run_covert_channel", "run_stl_inplace", "run_address_leak"]
@@ -81,8 +82,8 @@ def run_stl_inplace(secret_bytes: int = 8, seed: int = 24) -> ExperimentResult:
     return result
 
 
-def run_address_leak(pages: int = 4) -> ExperimentResult:
-    leak = AddressMappingLeak(pages=pages)
+def run_address_leak(pages: int = 4, seed: int = 808) -> ExperimentResult:
+    leak = AddressMappingLeak(machine=Machine(seed=seed), pages=pages)
     result = ExperimentResult(
         experiment_id="address-leak",
         title="VA->PA mapping information leaked through the hash",

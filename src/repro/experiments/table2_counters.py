@@ -16,6 +16,7 @@ alone (they live in SSBP).  We reproduce the decisive probes:
 from __future__ import annotations
 
 from repro.core.exec_types import ExecType
+from repro.cpu.machine import Machine
 from repro.experiments.base import ExperimentResult
 from repro.revng.sequences import format_types
 from repro.revng.stld import StldHarness
@@ -23,7 +24,7 @@ from repro.revng.stld import StldHarness
 __all__ = ["run"]
 
 
-def run() -> ExperimentResult:
+def run(seed: int = 2024) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="table2",
         title="Counter organization: IPA dependence of C0..C4",
@@ -35,7 +36,7 @@ def run() -> ExperimentResult:
     )
 
     # ------------------------------------------------------- C0/C1/C2
-    harness = StldHarness()
+    harness = StldHarness(machine=Machine(seed=seed))
     harness.run_events("7n, a")          # trains the (0,0) pair: C0=4
     diff_store = harness.run_events("4n:0:1")
     diff_load = harness.run_events("4n:1:0")
@@ -58,7 +59,7 @@ def run() -> ExperimentResult:
     )
 
     # ------------------------------------------------------------- C3
-    harness = StldHarness()
+    harness = StldHarness(machine=Machine(seed=seed + 1))
     harness.run_events("7n, a, 7n, a, 7n, a")   # C3 = 15 at load hash 0
     via_other_store = harness.run_events("6n:0:2")
     shared_by_load = all(t is ExecType.F for t in via_other_store)
@@ -80,7 +81,7 @@ def run() -> ExperimentResult:
     )
 
     # ------------------------------------------------------------- C4
-    harness = StldHarness()
+    harness = StldHarness(machine=Machine(seed=seed + 2))
     for store_id in (1, 2):
         harness.run_events(f"7n:0:{store_id}, a:0:{store_id}")
         harness.run_events("39n")

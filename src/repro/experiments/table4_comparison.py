@@ -16,11 +16,11 @@ from repro.experiments.fig7_collisions import ssbp_attempt_samples
 __all__ = ["run"]
 
 
-def run(collision_trials: int = 4) -> ExperimentResult:
+def run(collision_trials: int = 4, seed: int = 4000) -> ExperimentResult:
     intel = IntelMdu.characterization()
     arm = ArmMdu.characterization()
     amd = amd_characterization()
-    amd_attempts = ssbp_attempt_samples(trials=collision_trials, seed=4000)
+    amd_attempts = ssbp_attempt_samples(trials=collision_trials, seed=seed)
     amd_mean = sum(amd_attempts) / len(amd_attempts)
 
     result = ExperimentResult(

@@ -1,0 +1,91 @@
+"""Cache key derivation and ResultCache hit/miss/invalidation behavior."""
+
+from repro.core.config import default_model, get_model
+from repro.experiments.base import ExperimentResult
+from repro.experiments.cache import ResultCache, cache_key
+
+
+def small_result(experiment_id: str = "demo") -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id=experiment_id, title="t", headers=["h"]
+    )
+    result.add_row("v")
+    result.metrics["m"] = 1.0
+    return result
+
+
+class TestCacheKey:
+    def test_deterministic(self):
+        assert cache_key("fig4", 4) == cache_key("fig4", 4)
+
+    def test_changes_with_name(self):
+        assert cache_key("fig4", 4) != cache_key("fig5", 4)
+
+    def test_changes_with_seed(self):
+        assert cache_key("fig4", 4) != cache_key("fig4", 5)
+
+    def test_changes_with_model(self):
+        base = cache_key("fig4", 4, model=default_model())
+        other_platform = cache_key("fig4", 4, model=get_model("epyc-7543"))
+        tweaked = cache_key(
+            "fig4", 4, model=default_model().with_overrides(timer_noise=0.01)
+        )
+        assert base != other_platform
+        assert base != tweaked
+
+    def test_changes_with_version(self):
+        assert cache_key("fig4", 4, version="1.0.0") != cache_key(
+            "fig4", 4, version="1.0.1"
+        )
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = cache_key("demo", 1)
+        assert cache.get(key) is None
+        cache.put(key, small_result())
+        hit = cache.get(key)
+        assert hit is not None
+        assert hit.cache_hit is True
+        assert hit.rows == [["v"]]
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_seed_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put(cache_key("demo", 1), small_result())
+        assert cache.get(cache_key("demo", 2)) is None
+
+    def test_model_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put(cache_key("demo", 1, model=default_model()), small_result())
+        assert cache.get(cache_key("demo", 1, model=get_model("epyc-7543"))) is None
+
+    def test_stored_entry_never_claims_cache_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = cache_key("demo", 1)
+        hit = small_result()
+        hit.cache_hit = True  # replayed result being re-stored
+        cache.put(key, hit)
+        import json
+
+        stored = json.loads(cache._entry(key).read_text())
+        assert stored["cache_hit"] is False
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = cache_key("demo", 1)
+        entry = cache._entry(key)
+        entry.parent.mkdir(parents=True)
+        entry.write_text("{broken")
+        assert cache.get(key) is None
+        assert not entry.exists()
+
+    def test_len_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        assert len(cache) == 0
+        cache.put(cache_key("a", 1), small_result("a"))
+        cache.put(cache_key("b", 1), small_result("b"))
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0

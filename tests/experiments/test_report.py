@@ -1,0 +1,79 @@
+"""Measured-table regeneration and campaign artifact comparison."""
+
+import pytest
+
+from repro.experiments.artifacts import write_artifact
+from repro.experiments.base import ExperimentResult
+from repro.experiments.report import (
+    BEGIN_MARK,
+    END_MARK,
+    compare_artifacts,
+    render_measured_table,
+    update_markdown,
+)
+
+
+def result_with(metrics, rows=(("a", 1),), seed=5):
+    result = ExperimentResult(
+        experiment_id="demo", title="t", headers=["x", "y"]
+    )
+    for row in rows:
+        result.add_row(*row)
+    result.metrics.update(metrics)
+    result.seed = seed
+    result.wall_time_s = 0.5
+    return result
+
+
+class TestRenderAndUpdate:
+    def test_table_contains_metrics_and_seed(self):
+        table = render_measured_table({"demo": result_with({"acc": 0.995, "n": 64})})
+        assert "| `demo` | 5 | 0.5s |" in table
+        assert "acc=0.995" in table and "n=64" in table
+
+    def test_update_markdown_rewrites_only_the_block(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text(f"intro\n\n{BEGIN_MARK}\nstale\n{END_MARK}\n\noutro\n")
+        changed = update_markdown(doc, {"demo": result_with({"acc": 1.0})})
+        text = doc.read_text()
+        assert changed is True
+        assert "stale" not in text
+        assert "acc=1" in text
+        assert text.startswith("intro") and text.rstrip().endswith("outro")
+        assert update_markdown(doc, {"demo": result_with({"acc": 1.0})}) is False
+
+    def test_update_markdown_requires_markers(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("no markers here\n")
+        with pytest.raises(SystemExit):
+            update_markdown(doc, {})
+
+
+class TestCompare:
+    def test_identical_directories_have_no_problems(self, tmp_path):
+        for directory in ("a", "b"):
+            write_artifact(result_with({"m": 1.0}), tmp_path / directory, "demo")
+        assert compare_artifacts(tmp_path / "a", tmp_path / "b") == []
+
+    def test_row_and_metric_differences_reported(self, tmp_path):
+        write_artifact(result_with({"m": 1.0}), tmp_path / "a", "demo")
+        write_artifact(
+            result_with({"m": 2.0}, rows=(("a", 9),)), tmp_path / "b", "demo"
+        )
+        problems = compare_artifacts(tmp_path / "a", tmp_path / "b")
+        assert any("rows differ" in p for p in problems)
+        assert any("metrics differ" in p for p in problems)
+
+    def test_one_sided_artifacts_reported(self, tmp_path):
+        write_artifact(result_with({}), tmp_path / "a", "only-here")
+        (tmp_path / "b").mkdir()
+        problems = compare_artifacts(tmp_path / "a", tmp_path / "b")
+        assert problems and "only in" in problems[0]
+
+    def test_wall_time_and_worker_ignored(self, tmp_path):
+        fast = result_with({"m": 1.0})
+        slow = result_with({"m": 1.0})
+        slow.wall_time_s, slow.worker = 99.0, "pid:42"
+        write_artifact(fast, tmp_path / "a", "demo")
+        write_artifact(slow, tmp_path / "b", "demo")
+        assert compare_artifacts(tmp_path / "a", tmp_path / "b") == []

@@ -2,12 +2,20 @@
 
 import pytest
 
-from repro.experiments.runner import EXPERIMENTS, QUICK_SET, main, run_experiment
+from repro.errors import UnknownExperimentError
+from repro.experiments.runner import (
+    COST_TIERS,
+    EXPERIMENTS,
+    QUICK_SET,
+    effective_seed,
+    main,
+    run_experiment,
+)
 
 
 class TestRegistry:
     def test_all_paper_artifacts_present(self):
-        artifacts = {artifact for _, artifact, _ in EXPERIMENTS.values()}
+        artifacts = {spec.artifact for spec in EXPERIMENTS.values()}
         for expected in (
             "Fig 2", "TABLE I", "TABLE II", "TABLE IV",
             "Fig 4", "Fig 5", "Fig 7", "Fig 11", "Fig 12",
@@ -18,11 +26,27 @@ class TestRegistry:
 
     def test_quick_set_excludes_slow(self):
         for name in QUICK_SET:
-            assert EXPERIMENTS[name][2] != "slow"
+            assert EXPERIMENTS[name].cost != "slow"
 
-    def test_unknown_experiment_rejected(self):
-        with pytest.raises(SystemExit):
+    def test_costs_are_known_tiers(self):
+        for name, spec in EXPERIMENTS.items():
+            assert spec.cost in COST_TIERS, name
+
+    def test_unknown_experiment_raises_typed_error(self):
+        with pytest.raises(UnknownExperimentError) as excinfo:
             run_experiment("fig99")
+        assert excinfo.value.name == "fig99"
+        assert "fig2" in excinfo.value.known
+
+    def test_effective_seed_prefers_override(self):
+        assert effective_seed("fig4") == EXPERIMENTS["fig4"].default_seed
+        assert effective_seed("fig4", 123) == 123
+
+    def test_every_driver_accepts_a_seed(self):
+        import inspect
+
+        for name, spec in EXPERIMENTS.items():
+            assert "seed" in inspect.signature(spec.driver).parameters, name
 
 
 class TestCli:
@@ -31,7 +55,24 @@ class TestCli:
         out = capsys.readouterr().out
         assert "fig2" in out and "spectre-stl" in out
 
-    def test_run_one(self, capsys):
-        assert main(["fig4"]) == 0
+    def test_run_one(self, capsys, tmp_path):
+        assert main(["fig4", "--cache-dir", str(tmp_path / "cache")]) == 0
         out = capsys.readouterr().out
         assert "fig4" in out and "completed" in out
+
+    def test_unknown_name_exits_2(self, capsys):
+        assert main(["fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err and "fig99" in err
+
+    def test_bad_cost_tier_exits_2(self, capsys):
+        assert main(["--cost", "glacial"]) == 2
+        assert "glacial" in capsys.readouterr().err
+
+    def test_cost_filter_selects_subset(self, capsys, tmp_path):
+        assert main(
+            ["fig4", "table1", "--cost", "fast", "--no-cache"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "table1" in out
+        assert "2 experiments" in out
