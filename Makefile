@@ -7,7 +7,7 @@ RESULTS ?= results
 
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test experiments-quick experiments-check experiments-all regen-experiments-md clean-cache
+.PHONY: test experiments-quick experiments-check experiments-all regen-experiments-md fuzz-smoke clean-cache
 
 test:
 	$(PY) -m pytest -x -q
@@ -34,5 +34,18 @@ experiments-all:
 regen-experiments-md: experiments-all
 	$(PY) -m repro.experiments.report --json $(RESULTS) --write EXPERIMENTS.md
 
+## Seeded differential-fuzzing smoke: replay the regression corpus plus a
+## small generated budget under "none" and "ssbd".  Must be clean (no
+## architectural divergences, no leaks surviving SSBD) and byte-identical
+## between --jobs 1 and --jobs $(JOBS).  Separate corpus dirs per run so
+## the first run's additions cannot change the second run's replay list.
+fuzz-smoke:
+	rm -rf $(RESULTS)-fuzz
+	$(PY) -m repro.fuzz.cli --budget 25 --seed 1 --jobs 1       --out $(RESULTS)-fuzz/serial.jsonl   --corpus-dir $(RESULTS)-fuzz/corpus-serial
+	$(PY) -m repro.fuzz.cli --budget 25 --seed 1 --jobs $(JOBS) --out $(RESULTS)-fuzz/parallel.jsonl --corpus-dir $(RESULTS)-fuzz/corpus-parallel
+	cmp $(RESULTS)-fuzz/serial.jsonl $(RESULTS)-fuzz/parallel.jsonl
+	rm -rf $(RESULTS)-fuzz
+	@echo "fuzz-smoke: clean and deterministic"
+
 clean-cache:
-	rm -rf .repro-cache
+	rm -rf .repro-cache .repro-corpus

@@ -62,12 +62,25 @@ from repro.osm.address_space import Perm
 from repro.osm.kernel import Kernel
 from repro.osm.process import Process
 
-__all__ = ["StldEvent", "RunResult", "Pipeline", "FAULT_WINDOW"]
+__all__ = ["StldEvent", "RunResult", "Pipeline", "FAULT_WINDOW", "CHAOS_HOOKS"]
 
 _U64 = (1 << 64) - 1
 
 #: Cycles between a faulting load's execution and fault delivery (retire).
 FAULT_WINDOW = 30
+
+#: Fault-injection hooks for the differential fuzzing harness
+#: (:func:`repro.fuzz.harness.chaos`).  Adding a name here disables one
+#: squash-repair step, deliberately breaking the architectural contract so
+#: the harness can prove it would catch the corresponding bug class:
+#:
+#: * ``skip-register-repair`` — a squash stops restoring the register
+#:   file, so wrong-path values survive rollback;
+#: * ``skip-store-squash`` — a squash stops dropping younger store-queue
+#:   entries, so wrong-path stores can commit to memory.
+#:
+#: Production code must never populate this set.
+CHAOS_HOOKS: set[str] = set()
 
 
 @dataclass
@@ -232,11 +245,16 @@ class _ExecState:
         )
 
     def _restore(self, snap: _Snapshot) -> None:
-        self.regs.clear()
-        self.regs.update(snap.regs)
-        self.ready = dict(snap.ready)
+        if "skip-register-repair" not in CHAOS_HOOKS:
+            self.regs.clear()
+            self.regs.update(snap.regs)
+            self.ready = dict(snap.ready)
         self.index = snap.index
         self.retired = snap.retired
+
+    def _squash_stores(self, seq: int) -> None:
+        if "skip-store-squash" not in CHAOS_HOOKS:
+            self.thread.store_queue.squash_younger(seq)
 
     def _translate(self, vaddr: int, access: Perm) -> int:
         return self.kernel.translate(self.process, vaddr, access, self.thread)
@@ -545,16 +563,34 @@ class _ExecState:
             complete = max(addr_ready, pending.data_ready) + self.lat.sq_forward
             self.thread.pmc.add(PmcEvent.STLF)
         elif prediction.aliasing:
-            # Stall until the store's address generation (A/B/E/F).
-            stall_until = max(addr_ready, pending.addr_ready)
-            self.thread.pmc.add(
-                PmcEvent.SQ_STALL_TOKENS, max(0, pending.addr_ready - addr_ready)
+            # Stall until address generation of *every* older unresolved
+            # store (A/B/E/F): with PSF off the load cannot disambiguate
+            # until the addresses are known, and waiting only for the
+            # nearest store would read around an older aliasing store
+            # whose address resolves later — with no guard to repair it.
+            # This wait-for-all is also exactly SSBD's guarantee.
+            unresolved = self.thread.store_queue.unresolved_older(
+                load_seq, addr_ready
             )
-            if truth:
+            stall_until = max(
+                [addr_ready] + [entry.addr_ready for entry in unresolved]
+            )
+            self.thread.pmc.add(
+                PmcEvent.SQ_STALL_TOKENS, max(0, stall_until - addr_ready)
+            )
+            aliasing = [
+                entry
+                for entry in unresolved
+                if entry.overlaps(paddr, instruction.width)
+            ]
+            if aliasing:
                 value = self._merged_read(
                     load_seq, paddr, instruction.width, stall_until, True
                 )
-                complete = max(stall_until, pending.data_ready) + self.lat.sq_forward
+                complete = (
+                    max([stall_until] + [entry.data_ready for entry in aliasing])
+                    + self.lat.sq_forward
+                )
                 self.thread.pmc.add(PmcEvent.STLF)
             else:
                 latency, _ = self.core.hierarchy.load(paddr)
@@ -708,7 +744,7 @@ class _ExecState:
         assert self.window is not None
         window, self.window = self.window, None
         self._train_squashed_records(window.base_seq, window.stop)
-        self.thread.store_queue.squash_younger(window.base_seq)
+        self._squash_stores(window.base_seq)
         self._restore(window.snapshot)
         self.dispatch = window.stop + self.lat.rollback
         self.result.rollbacks += 1
@@ -721,7 +757,7 @@ class _ExecState:
             self.result.fault = window.fault
             self.result.cycles = self.dispatch
             self.result.retired = self.retired
-            self.thread.store_queue.squash_younger(window.base_seq)
+            self._squash_stores(window.base_seq)
             self.halted = True
             raise window.fault
         self.index = handler
@@ -760,7 +796,7 @@ class _ExecState:
     def _squash_from(self, record: _SpecLoad, entry: StoreEntry, now: int) -> None:
         """Roll back to the mispredicted load and replay it correctly."""
         self._train_squashed_records(record.load_seq, now)
-        self.thread.store_queue.squash_younger(record.load_seq)
+        self._squash_stores(record.load_seq)
         if self.window is not None and record.load_seq <= self.window.base_seq:
             # The branch (or faulting load) that opened the window sits
             # *after* the load we are rewinding to: its window context is

@@ -8,8 +8,10 @@ the predictors guessed, squashes must have repaired it.  The
 property-based differential tests in ``tests/cpu/test_differential.py``
 drive random programs through both.
 
-Timing is deliberately absent: ``Rdpru`` writes 0 here, and callers
-exclude its destination from comparisons.
+Timing is deliberately absent: ``Rdpru`` writes 0 here; the shared state
+comparator (:func:`repro.fuzz.compare.compare_architectural`) excludes
+``Rdpru`` destination registers from every comparison, so no caller has
+to remember the rule.
 """
 
 from __future__ import annotations

@@ -32,9 +32,21 @@ from repro.core.config import CpuModel, default_model
 from repro.errors import ArtifactError
 from repro.experiments.base import ExperimentResult
 
-__all__ = ["ResultCache", "cache_key", "DEFAULT_CACHE_DIR"]
+__all__ = ["ResultCache", "cache_key", "content_key", "DEFAULT_CACHE_DIR"]
 
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def content_key(payload: dict) -> str:
+    """SHA-256 of a JSON-serializable payload, canonically serialized.
+
+    The shared content-addressing primitive: the experiment result cache,
+    the fuzzing corpus (:mod:`repro.fuzz.corpus`) and findings artifacts
+    all derive their filenames from this so identical inputs land at
+    identical paths no matter which run produced them.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def cache_key(
@@ -46,14 +58,14 @@ def cache_key(
     """Derive the content address for one experiment configuration."""
     from repro import __version__  # local import: repro/__init__ imports widely
 
-    fingerprint = {
-        "experiment": name,
-        "seed": seed,
-        "model": asdict(model or default_model()),
-        "version": version if version is not None else __version__,
-    }
-    canonical = json.dumps(fingerprint, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return content_key(
+        {
+            "experiment": name,
+            "seed": seed,
+            "model": asdict(model or default_model()),
+            "version": version if version is not None else __version__,
+        }
+    )
 
 
 class ResultCache:

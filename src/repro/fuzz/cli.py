@@ -1,0 +1,379 @@
+"""The ``repro-fuzz`` campaign engine and CLI.
+
+A campaign is a deterministic function of ``(--seed, --budget,
+--cpu-model, --mitigation)``:
+
+1. the persistent corpus is replayed first — built-in regression entries,
+   then any on-disk cases from previous campaigns;
+2. ``--budget`` fresh program seeds are derived from the master seed; each
+   drives one dual-execution (``fuzz-v1``) task and one leakage-oracle
+   (``oracle-v1``) task, every task evaluated under every requested
+   mitigation;
+3. architectural divergences are minimized by the shrinker and appended
+   to the corpus; everything lands in a schema-versioned findings JSONL.
+
+``--jobs N`` fans tasks out over a :class:`ProcessPoolExecutor`; findings
+are emitted in task order whatever the completion order, so ``--jobs 8``
+and ``--jobs 1`` write **byte-identical** findings files — the same
+determinism contract the experiment campaign runner keeps.
+
+Exit status: 0 when the run is clean, 1 when it found a *regression* —
+any architectural divergence, any oracle-invariant violation, or a leak
+under an active mitigation (``ssbd``/``fence``).  Leaks under ``none``
+are the paper's attacks working as intended and do not fail the run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.core.config import ZEN3_MODELS
+from repro.errors import ConfigError
+from repro.fuzz import corpus as corpus_mod
+from repro.fuzz import harness, oracle
+from repro.fuzz.corpus import DEFAULT_CORPUS_DIR, Corpus, CorpusEntry
+from repro.fuzz.findings import Finding, write_findings
+from repro.fuzz.shrink import shrink_report
+
+__all__ = [
+    "DEFAULT_BUDGET",
+    "DEFAULT_MITIGATIONS",
+    "derive_case",
+    "build_tasks",
+    "run_fuzz_campaign",
+    "regressions",
+    "main",
+]
+
+DEFAULT_BUDGET = 100
+DEFAULT_MITIGATIONS = ("none", "ssbd")
+
+#: Block-count range for generated programs (inclusive-exclusive).
+_BLOCK_RANGE = (10, 44)
+
+
+def derive_case(master_seed: int, index: int) -> tuple[int, int]:
+    """The ``(program seed, blocks)`` of generated case ``index``.
+
+    Independent of job count and process: seeded string RNG, no global
+    state — the determinism the byte-identical-JSONL contract rests on.
+    """
+    rng = random.Random(f"repro-fuzz-case-{master_seed}-{index}")
+    return rng.randrange(1, 1 << 30), rng.randrange(*_BLOCK_RANGE)
+
+
+def build_tasks(
+    *,
+    budget: int,
+    seed: int,
+    mitigations: Sequence[str],
+    model_name: str | None,
+    replay: Sequence[CorpusEntry],
+    inject: str | None = None,
+    shrink: bool = True,
+) -> list[dict]:
+    """The campaign's full task list: corpus replays first, then fresh
+    programs (each as a differential task plus an oracle task)."""
+    common = {
+        "mitigations": list(mitigations),
+        "cpu_model": model_name or "",
+        "inject": inject or "",
+        "shrink": shrink,
+    }
+    tasks: list[dict] = []
+    for entry in replay:
+        tasks.append(
+            {
+                "task": len(tasks),
+                "check": "differential",
+                "generator": entry.generator,
+                "seed": entry.seed,
+                "blocks": entry.blocks,
+                "origin": "corpus",
+                "label": entry.label,
+                **common,
+            }
+        )
+    for index in range(budget):
+        program_seed, blocks = derive_case(seed, index)
+        for check, generator in (("differential", "fuzz-v1"), ("oracle", "oracle-v1")):
+            tasks.append(
+                {
+                    "task": len(tasks),
+                    "check": check,
+                    "generator": generator,
+                    "seed": program_seed,
+                    "blocks": blocks,
+                    "origin": "generated",
+                    "label": f"gen-{index}",
+                    **common,
+                }
+            )
+    return tasks
+
+
+def _run_task(task: dict) -> list[dict]:
+    """Worker entry point: one task, all its mitigations; finding dicts.
+
+    Pure function of the task description (fresh machines inside), so it
+    runs identically inline and in a pool process.  Dict results cross
+    the process boundary, exactly like the experiment runner's workers.
+    """
+    hooks = [task["inject"]] if task["inject"] else []
+    model = task["cpu_model"] or None
+    found: list[dict] = []
+    with harness.chaos(*hooks):
+        for mitigation in task["mitigations"]:
+            if task["check"] == "differential":
+                found.extend(_differential_findings(task, model, mitigation))
+            else:
+                found.extend(_oracle_findings(task, model, mitigation))
+    return found
+
+
+def _differential_findings(task: dict, model: str | None, mitigation: str) -> list[dict]:
+    report = harness.check_case(
+        task["generator"], task["seed"], task["blocks"],
+        model=model, mitigation=mitigation,
+    )
+    if report.divergence is None:
+        return []
+    shrunk = None
+    if task["shrink"]:
+
+        def reproduces(candidate: list) -> bool:
+            trial = harness.run_dual(
+                candidate, seed=task["seed"], model=model, mitigation=mitigation
+            )
+            return trial.divergence is not None
+
+        shrunk = shrink_report(report.instructions, reproduces)
+    finding = Finding(
+        kind="architectural-divergence",
+        generator=task["generator"],
+        seed=task["seed"],
+        blocks=task["blocks"],
+        cpu_model=report.model_name,
+        mitigation=mitigation,
+        task=task["task"],
+        origin=task["origin"],
+        label=task["label"],
+        detail=report.divergence.to_detail(),
+        shrunk=shrunk,
+    )
+    return [finding.to_dict()]
+
+
+def _oracle_findings(task: dict, model: str | None, mitigation: str) -> list[dict]:
+    report = oracle.leak_check(
+        task["generator"], task["seed"], task["blocks"],
+        model=model, mitigation=mitigation,
+    )
+    kind = report.finding_kind
+    if kind is None:
+        return []
+    finding = Finding(
+        kind=kind,
+        generator=task["generator"],
+        seed=task["seed"],
+        blocks=task["blocks"],
+        cpu_model=report.model_name,
+        mitigation=mitigation,
+        task=task["task"],
+        origin=task["origin"],
+        label=task["label"],
+        detail=report.to_detail(),
+    )
+    return [finding.to_dict()]
+
+
+def run_fuzz_campaign(
+    *,
+    budget: int = DEFAULT_BUDGET,
+    seed: int = 0,
+    jobs: int = 1,
+    model_name: str | None = None,
+    mitigations: Sequence[str] = DEFAULT_MITIGATIONS,
+    corpus_dir: str | Path | None = DEFAULT_CORPUS_DIR,
+    shrink: bool = True,
+    inject: str | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> list[Finding]:
+    """Run one campaign; returns findings in stable task order.
+
+    ``corpus_dir=None`` disables the on-disk corpus (built-in regression
+    entries are still replayed); otherwise new architectural findings are
+    persisted there for future campaigns to replay first.
+    """
+    for mitigation in mitigations:
+        if mitigation not in harness.MITIGATIONS:
+            raise ConfigError(
+                f"unknown mitigation {mitigation!r}; "
+                f"known: {', '.join(harness.MITIGATIONS)}"
+            )
+    say = progress or (lambda line: None)
+    corp = Corpus(corpus_dir) if corpus_dir is not None else None
+    replay = corpus_mod.replay_order(corp)
+    tasks = build_tasks(
+        budget=budget, seed=seed, mitigations=mitigations,
+        model_name=model_name, replay=replay, inject=inject, shrink=shrink,
+    )
+
+    results: dict[int, list[dict]] = {}
+
+    def record(task: dict, found: list[dict]) -> None:
+        results[task["task"]] = found
+        verdict = f"{len(found)} finding(s)" if found else "clean"
+        say(
+            f"task {task['task']:3d} {task['check']:<12s} "
+            f"{task['generator']} seed={task['seed']}: {verdict}"
+        )
+
+    if jobs > 1 and tasks:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+            futures = {pool.submit(_run_task, task): task for task in tasks}
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    record(futures[future], future.result())
+    else:
+        for task in tasks:
+            record(task, _run_task(task))
+
+    findings = [
+        Finding.from_dict(data)
+        for task_id in sorted(results)
+        for data in results[task_id]
+    ]
+    if corp is not None:
+        for finding in findings:
+            if finding.kind != "leak" and finding.origin == "generated":
+                corp.add(
+                    CorpusEntry(
+                        finding.generator,
+                        finding.seed,
+                        finding.blocks,
+                        label=f"campaign:{finding.label}",
+                        origin="campaign",
+                    )
+                )
+    return findings
+
+
+def regressions(findings: Sequence[Finding]) -> list[Finding]:
+    """The findings that should fail a campaign: every architectural
+    problem, plus leaks that survived an active mitigation."""
+    return [
+        finding
+        for finding in findings
+        if finding.kind != "leak" or finding.mitigation != "none"
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-fuzz",
+        description=(
+            "Differential speculation fuzzing: dual-execution correctness "
+            "checks plus a two-fill leakage oracle, per mitigation."
+        ),
+    )
+    parser.add_argument(
+        "--budget", type=int, default=DEFAULT_BUDGET, metavar="N",
+        help=f"generated programs per campaign (default {DEFAULT_BUDGET})",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="master campaign seed (default 0)"
+    )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="worker processes (default 1 = serial; output is identical)",
+    )
+    parser.add_argument(
+        "--cpu-model", default=None, choices=sorted(ZEN3_MODELS), metavar="NAME",
+        help="TABLE III platform to fuzz (default: ryzen9-5900x)",
+    )
+    parser.add_argument(
+        "--mitigation", default=",".join(DEFAULT_MITIGATIONS), metavar="LIST",
+        help=(
+            "comma-separated mitigation configs to evaluate "
+            f"(from: {', '.join(harness.MITIGATIONS)}; "
+            f"default {','.join(DEFAULT_MITIGATIONS)})"
+        ),
+    )
+    parser.add_argument(
+        "--out", default="fuzz-findings.jsonl", metavar="FILE",
+        help="findings JSONL path (default fuzz-findings.jsonl)",
+    )
+    parser.add_argument(
+        "--corpus-dir", default=DEFAULT_CORPUS_DIR, metavar="DIR",
+        help=f"persistent corpus location (default {DEFAULT_CORPUS_DIR})",
+    )
+    parser.add_argument(
+        "--no-corpus", action="store_true",
+        help="do not read or write the on-disk corpus "
+             "(built-in regressions still replay)",
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip counterexample minimization",
+    )
+    parser.add_argument(
+        "--inject", default=None, choices=harness.CHAOS_HOOK_NAMES, metavar="HOOK",
+        help="self-test: arm a pipeline fault-injection hook; the campaign "
+             "must then report (and shrink) architectural divergences",
+    )
+    args = parser.parse_args(argv)
+
+    mitigations = [part.strip() for part in args.mitigation.split(",") if part.strip()]
+    corpus_dir = None if args.no_corpus else args.corpus_dir
+    replayed = len(
+        corpus_mod.replay_order(Corpus(corpus_dir) if corpus_dir else None)
+    )
+    started = time.perf_counter()
+    try:
+        findings = run_fuzz_campaign(
+            budget=max(0, args.budget),
+            seed=args.seed,
+            jobs=max(1, args.jobs),
+            model_name=args.cpu_model,
+            mitigations=mitigations,
+            corpus_dir=corpus_dir,
+            shrink=not args.no_shrink,
+            inject=args.inject,
+            progress=lambda line: print(f"  .. {line}", file=sys.stderr),
+        )
+    except ConfigError as exc:
+        print(f"repro-fuzz: {exc}", file=sys.stderr)
+        return 2
+
+    path = write_findings(args.out, findings)
+    by_kind: dict[str, int] = {}
+    for finding in findings:
+        by_kind[finding.kind] = by_kind.get(finding.kind, 0) + 1
+    bad = regressions(findings)
+    print(
+        f"fuzz campaign: {args.budget} generated programs + {replayed} corpus "
+        f"replays, mitigations [{', '.join(mitigations)}], "
+        f"{time.perf_counter() - started:.1f}s wall with --jobs {max(1, args.jobs)}"
+    )
+    for kind in sorted(by_kind):
+        print(f"  {kind}: {by_kind[kind]}")
+    print(f"  findings written to {path}")
+    if bad:
+        print(f"REGRESSIONS: {len(bad)} finding(s) that must not happen "
+              f"(architectural, or leaking despite mitigation)")
+        return 1
+    print("clean: no architectural divergences, no mitigated leaks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Counterexample minimization (delta debugging over instruction lists).
+
+When the harness finds a diverging program, hundreds of generated
+instructions obscure the few that matter.  :func:`shrink` reduces the
+program by chunked deletion — halving granularity like ddmin, finishing
+with a one-at-a-time sweep — re-validating every candidate against the
+caller's ``reproduces`` predicate (typically "the dual-execution harness
+still reports a divergence with the same machine seed and mitigation").
+
+Deletion can orphan a branch from its label or otherwise produce an
+invalid program; such candidates simply fail validation (the predicate's
+errors are treated as "does not reproduce") and the deletion is rolled
+back, so the result is always a well-formed program that still fails.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.cpu.isa import Instruction
+from repro.errors import ReproError
+
+__all__ = ["shrink", "shrink_report"]
+
+
+def _holds(
+    reproduces: Callable[[list[Instruction]], bool], candidate: list[Instruction]
+) -> bool:
+    """Does the failure reproduce on ``candidate``?  Invalid programs
+    (duplicate labels, orphaned branch targets, new faults...) surface as
+    library errors and count as "no"."""
+    if not candidate:
+        return False
+    try:
+        return bool(reproduces(candidate))
+    except ReproError:
+        return False
+
+
+def shrink(
+    instructions: Sequence[Instruction],
+    reproduces: Callable[[list[Instruction]], bool],
+) -> list[Instruction]:
+    """Minimize ``instructions`` while ``reproduces`` keeps holding.
+
+    Deterministic: candidate order depends only on the input program, so
+    the same counterexample always shrinks to the same reproducer.  The
+    result is 1-minimal for single deletions: removing any one remaining
+    instruction makes the failure vanish (or the program invalid).
+    """
+    candidate = list(instructions)
+    if not _holds(reproduces, candidate):
+        # The caller's failure does not even reproduce on the full
+        # program (flaky predicate); never "minimize" to garbage.
+        return candidate
+
+    chunk = max(1, len(candidate) // 2)
+    while True:
+        index = 0
+        while index < len(candidate):
+            trial = candidate[:index] + candidate[index + chunk:]
+            if _holds(reproduces, trial):
+                candidate = trial
+            else:
+                index += chunk
+        if chunk == 1:
+            break
+        chunk = max(1, chunk // 2)
+    return candidate
+
+
+def shrink_report(
+    instructions: Sequence[Instruction],
+    reproduces: Callable[[list[Instruction]], bool],
+) -> dict:
+    """Shrink and package the result for a findings artifact."""
+    minimized = shrink(instructions, reproduces)
+    return {
+        "count": len(minimized),
+        "original_count": len(instructions),
+        "instructions": [repr(instruction) for instruction in minimized],
+    }

@@ -10,10 +10,14 @@
 * **Randomized selection** — ``Machine(resalt_on_switch=True)``; re-keys
   the selection hash on every switch/syscall so code-sliding collisions
   go stale, stopping out-of-place attacks.
+* **Fence insertion** (:mod:`repro.mitigations.fences`) — the software
+  countermeasure: an ``mfence`` after every store serializes it against
+  younger loads, so the predictors are never consulted.
 * **Secure timer** (:mod:`repro.mitigations.secure_timer`) — denies the
   cycle resolution probing needs.
 """
 
+from repro.mitigations.fences import count_fences, fence_after_stores
 from repro.mitigations.secure_timer import SecureTimer
 from repro.mitigations.ssbd import (
     WorkloadTiming,
@@ -25,6 +29,8 @@ from repro.mitigations.ssbd import (
 __all__ = [
     "SecureTimer",
     "WorkloadTiming",
+    "count_fences",
+    "fence_after_stores",
     "measure_workload",
     "ssbd_enabled",
     "ssbd_overhead",

@@ -1,0 +1,42 @@
+"""Fence insertion — the software countermeasure to store bypass.
+
+Where SSBD flips a chicken bit (:mod:`repro.mitigations.ssbd`), a
+compiler can instead serialize each store against younger loads by
+emitting an ``mfence`` right after it: by the time any subsequent load
+dispatches, every older store's address is resolved and committed, so
+there is no unresolved store to race — the predictors are simply never
+consulted.  This is the lfence/mfence hardening strategy SpecFuzz-style
+tools validate, and the fuzzing harness (:mod:`repro.fuzz`) uses this
+transform as its third mitigation configuration next to ``none`` and
+``ssbd``.
+
+The transform is purely architectural-neutral: ``Mfence`` is a no-op to
+the reference interpreter, so a fenced program must produce the same
+registers and memory as the original under both executors.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.isa import Instruction, Mfence, Store
+
+__all__ = ["fence_after_stores", "count_fences"]
+
+
+def fence_after_stores(instructions: list[Instruction]) -> list[Instruction]:
+    """Insert an ``Mfence`` after every ``Store`` (compiler hardening).
+
+    Returns a new instruction list; the input is not modified.  Labels
+    and branch targets are unaffected because fences are appended after
+    stores, never between a label and the instruction it names.
+    """
+    fenced: list[Instruction] = []
+    for instruction in instructions:
+        fenced.append(instruction)
+        if isinstance(instruction, Store):
+            fenced.append(Mfence())
+    return fenced
+
+
+def count_fences(instructions: list[Instruction]) -> int:
+    """Number of ``Mfence`` instructions in a program (for overhead stats)."""
+    return sum(1 for instruction in instructions if isinstance(instruction, Mfence))

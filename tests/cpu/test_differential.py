@@ -4,6 +4,10 @@ Whatever the predictors guessed — bypasses, predictive forwards, branch
 mispredictions — every squash must repair architectural state exactly.
 Random programs (with deliberately speculation-heavy patterns) must end
 with identical registers and identical memory under both executors.
+
+The program generator and the dual-execution machinery now live in the
+fuzzing subsystem (:mod:`repro.fuzz.gen`, :mod:`repro.fuzz.harness`);
+these tests drive the same code paths the ``repro-fuzz`` campaign does.
 """
 
 import random
@@ -12,132 +16,34 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cpu.isa import (
-    Alu,
-    AluImm,
-    Halt,
-    ImulImm,
-    Jz,
-    Label,
-    Load,
-    Mfence,
-    Mov,
-    MovImm,
-    Program,
-    Store,
-)
+from repro.cpu.isa import Program
 from repro.cpu.machine import Machine
-from repro.cpu.reference import ReferenceInterpreter
-
-BUF_PAGES = 2
-BUF_BYTES = BUF_PAGES * 4096
-REGS = ["r0", "r1", "r2", "r3"]
+from repro.fuzz.gen import BUF_PAGES, random_program
+from repro.fuzz.harness import check_case
 
 
-def random_program(rng: random.Random, blocks: int) -> list:
-    """A random well-formed program over a data buffer.
-
-    Addresses are always in-bounds (offsets are masked constants), and
-    branches only jump forward, so every program terminates.
-    """
-    instructions: list = [MovImm(r, rng.randrange(1, 1 << 16)) for r in REGS]
-    label_counter = 0
-    for block in range(blocks):
-        kind = rng.random()
-        dst, a, b = (rng.choice(REGS) for _ in range(3))
-        if kind < 0.25:
-            instructions.append(
-                Alu(dst, a, b, rng.choice(["add", "sub", "xor", "and", "or"]))
-            )
-            instructions.append(ImulImm(dst, dst, rng.choice([1, 3])))
-        elif kind < 0.55:
-            # A speculation-heavy racing pair: delayed store, racing load.
-            store_off = rng.randrange(0, BUF_BYTES - 8, 8)
-            load_off = (
-                store_off if rng.random() < 0.5
-                else rng.randrange(0, BUF_BYTES - 8, 8)
-            )
-            instructions.append(AluImm("sa", "buf", store_off, "add"))
-            instructions.append(Mov("sd", "sa"))
-            instructions.extend(
-                ImulImm("sd", "sd", 1) for _ in range(rng.randrange(0, 24))
-            )
-            instructions.append(
-                Store(base="sd", src=a, width=rng.choice([1, 8]))
-            )
-            instructions.append(AluImm("la", "buf", load_off, "add"))
-            instructions.append(Load(dst, base="la", width=rng.choice([1, 8])))
-        elif kind < 0.75:
-            # Plain memory traffic.
-            offset = rng.randrange(0, BUF_BYTES - 8, 8)
-            instructions.append(AluImm("la", "buf", offset, "add"))
-            if rng.random() < 0.5:
-                instructions.append(Store(base="la", src=a, width=8))
-            else:
-                instructions.append(Load(dst, base="la", width=8))
-        elif kind < 0.9:
-            # A forward branch over some work (possibly mispredicted).
-            label = f"skip{label_counter}"
-            label_counter += 1
-            cond = rng.choice(REGS)
-            if rng.random() < 0.4:
-                instructions.append(MovImm(cond, rng.choice([0, 1])))
-            instructions.append(Jz(cond, label))
-            instructions.append(AluImm(dst, a, 7, "add"))
-            offset = rng.randrange(0, BUF_BYTES - 8, 8)
-            instructions.append(AluImm("la", "buf", offset, "add"))
-            instructions.append(Store(base="la", src=dst, width=8))
-            instructions.append(Label(label))
-        else:
-            instructions.append(Mfence())
-    instructions.append(Halt())
-    return instructions
-
-
-def run_both(seed: int, blocks: int) -> tuple[dict, dict, bytes, bytes]:
-    """Run the same program on a pipelined machine and on the reference
-    interpreter (each with its own fresh machine); return regs + memory."""
-    rng = random.Random(seed)
-    instructions = random_program(rng, blocks)
-
-    def execute(use_pipeline: bool):
-        machine = Machine(seed=seed)
-        process = machine.kernel.create_process("diff")
-        buf = machine.kernel.map_anonymous(process, pages=BUF_PAGES)
-        machine.kernel.write(process, buf, bytes(range(256)) * (BUF_BYTES // 256))
-        program = machine.load_program(process, Program(instructions, name="diff"))
-        regs = {"buf": buf}
-        if use_pipeline:
-            result = machine.run(process, program, regs, max_steps=400_000)
-            final = result.regs
-        else:
-            final = ReferenceInterpreter(machine.kernel, process).run(program, regs)
-        memory = machine.kernel.read(process, buf, BUF_BYTES)
-        return final, memory
-
-    pipe_regs, pipe_mem = execute(use_pipeline=True)
-    ref_regs, ref_mem = execute(use_pipeline=False)
-    return pipe_regs, ref_regs, pipe_mem, ref_mem
-
-
-def architectural(regs: dict) -> dict:
-    """Registers that carry program results (drop address temporaries)."""
-    return {name: regs.get(name, 0) for name in REGS}
+def assert_convergent(seed: int, blocks: int, generator: str = "diff-v1") -> None:
+    # Default tracking compares *every* written register (minus Rdpru
+    # destinations) — stronger than the historical r0..r3 check.
+    report = check_case(generator, seed, blocks)
+    assert report.divergence is None, report.divergence.describe()
 
 
 class TestDifferential:
     @pytest.mark.parametrize("seed", range(12))
     def test_fixed_seeds(self, seed):
-        pipe_regs, ref_regs, pipe_mem, ref_mem = run_both(seed, blocks=30)
-        assert architectural(pipe_regs) == architectural(ref_regs)
-        assert pipe_mem == ref_mem
+        assert_convergent(seed, blocks=30)
 
     @settings(max_examples=20, deadline=None)
     @given(st.integers(1000, 100_000), st.integers(5, 40))
     def test_random_programs(self, seed, blocks):
-        pipe_regs, ref_regs, pipe_mem, ref_mem = run_both(seed, blocks)
-        assert architectural(pipe_regs) == architectural(ref_regs)
-        assert pipe_mem == ref_mem
+        assert_convergent(seed, blocks)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 100_000), st.integers(5, 40))
+    def test_fuzz_generator_programs(self, seed, blocks):
+        """The richer fuzzing templates must satisfy the same contract."""
+        assert_convergent(seed, blocks, generator="fuzz-v1")
 
     def test_speculation_actually_happened(self):
         """Sanity: the generator does produce transient windows (the

@@ -1,7 +1,7 @@
 """Pinned differential-fuzzing regressions.
 
-Each seed below once exposed a pipeline bug; they stay pinned so the
-bugs stay dead:
+Each entry once exposed a pipeline bug; they stay pinned so the bugs
+stay dead:
 
 * 42363 — a G-squash rewinding past an open branch window left the
   stale window armed; its later closure restored wrong-path state.
@@ -10,30 +10,22 @@ bugs stay dead:
 * 200006 — a bypassing load was validated only against the *nearest*
   unresolved store; an older, slower-resolving aliasing store slipped
   its data past the load.
+
+The cases themselves live in :data:`repro.fuzz.corpus.REGRESSION_ENTRIES`
+— the persistent corpus format the ``repro-fuzz`` campaign replays first
+on every run — so the CLI and this test file can never drift apart.
 """
 
 import pytest
 
-from tests.cpu.test_differential import architectural, run_both
-
-REGRESSION_CASES = [
-    (42363, 20, "stale branch window survives store squash"),
-    (200104, 19, "wrong-path store commit inside branch window"),
-    (200006, 26, "bypass misses older unresolved aliasing store"),
-    # The rest of the first fuzzing campaign's failures, for breadth.
-    (200058, 43, "campaign"),
-    (200229, 39, "campaign"),
-    (200322, 27, "campaign"),
-    (200613, 38, "campaign"),
-    (200860, 40, "campaign"),
-]
+from repro.fuzz.corpus import REGRESSION_ENTRIES
+from repro.fuzz.gen import REGS, random_program  # noqa: F401  (shared generator)
+from repro.fuzz.harness import check_entry
 
 
 @pytest.mark.parametrize(
-    "seed, blocks", [(s, b) for s, b, _ in REGRESSION_CASES],
-    ids=[label for _, _, label in REGRESSION_CASES],
+    "entry", REGRESSION_ENTRIES, ids=[entry.label for entry in REGRESSION_ENTRIES]
 )
-def test_differential_regression(seed, blocks):
-    pipe_regs, ref_regs, pipe_mem, ref_mem = run_both(seed, blocks)
-    assert architectural(pipe_regs) == architectural(ref_regs)
-    assert pipe_mem == ref_mem
+def test_differential_regression(entry):
+    report = check_entry(entry)
+    assert report.divergence is None, report.divergence.describe()

@@ -1,0 +1,85 @@
+"""Two-fill leakage oracle: finds leaks, respects mitigations, determinism."""
+
+import pytest
+
+from repro.fuzz.cli import derive_case
+from repro.fuzz.oracle import leak_check, observation_diff, secret_fills
+
+# Pinned: this oracle case leaks through the unmitigated pipeline (a
+# racing load bypasses a covering store on first encounter and the
+# transmit gadget caches a secret-dependent line).
+LEAK_SEED, LEAK_BLOCKS = 5, 16
+
+
+def test_secret_fills_distinct_and_deterministic():
+    a1, b1 = secret_fills(7)
+    a2, b2 = secret_fills(7)
+    assert a1 == a2 and b1 == b2
+    assert a1 != b1
+    assert secret_fills(8)[0] != a1
+
+
+def test_unmitigated_pipeline_leaks():
+    report = leak_check("oracle-v1", LEAK_SEED, LEAK_BLOCKS, mitigation="none")
+    assert report.finding_kind == "leak"
+    assert report.arch_divergence is None, "oracle invariant violated"
+    assert report.observation, "leak finding without observation diff"
+
+
+@pytest.mark.parametrize("mitigation", ["ssbd", "fence"])
+def test_mitigations_stop_the_leaks(mitigation):
+    """Across a small sweep, no oracle case may leak once mitigated —
+    the property `make fuzz-smoke` gates on."""
+    for index in range(6):
+        seed, blocks = derive_case(1, index)
+        report = leak_check("oracle-v1", seed, blocks, mitigation=mitigation)
+        assert report.finding_kind is None, (
+            f"seed {seed}: {report.finding_kind} under {mitigation}: "
+            f"{report.to_detail()}"
+        )
+
+
+def test_architectural_results_are_secret_independent():
+    """The oracle's precondition, checked over a sweep: two fills never
+    change tracked architectural results (else `leak` is undefined)."""
+    for index in range(8):
+        seed, blocks = derive_case(2, index)
+        for mitigation in ("none", "ssbd"):
+            report = leak_check("oracle-v1", seed, blocks, mitigation=mitigation)
+            assert report.arch_divergence is None, (
+                f"seed {seed} / {mitigation}: "
+                f"{report.arch_divergence.describe()}"
+            )
+
+
+def test_oracle_is_deterministic():
+    first = leak_check("oracle-v1", LEAK_SEED, LEAK_BLOCKS)
+    second = leak_check("oracle-v1", LEAK_SEED, LEAK_BLOCKS)
+    assert first.finding_kind == second.finding_kind
+    assert first.to_detail() == second.to_detail()
+
+
+def test_observation_diff_shape():
+    report = leak_check("oracle-v1", LEAK_SEED, LEAK_BLOCKS)
+    diff = report.observation
+    # Only JSON-serializable summaries, never raw objects.
+    import json
+
+    json.dumps(diff)
+    if "cached_lines" in diff:
+        assert diff["cached_lines"]["differing"] >= 1
+
+
+def test_identical_observations_diff_empty():
+    report = leak_check("oracle-v1", LEAK_SEED, LEAK_BLOCKS)
+    # Reflexive check via the module function on equal observations.
+    _, obs = _observe_once()
+    assert observation_diff(obs, obs) == {}
+
+
+def _observe_once():
+    from repro.fuzz.gen import build_program
+    from repro.fuzz.oracle import observe_program
+
+    instructions = build_program("oracle-v1", LEAK_SEED, LEAK_BLOCKS)
+    return observe_program(instructions, seed=LEAK_SEED)

@@ -1,0 +1,56 @@
+"""Shrinker: minimality, determinism, flaky-predicate safety."""
+
+from repro.cpu.isa import AluImm, Halt, MovImm
+from repro.fuzz.shrink import shrink, shrink_report
+
+
+def _program(n):
+    return [MovImm(f"r{i % 4}", i) for i in range(n)] + [Halt()]
+
+
+def test_shrinks_to_relevant_core():
+    # Failure: program contains the MovImm with imm == 13.
+    def reproduces(candidate):
+        return any(isinstance(i, MovImm) and i.value == 13 for i in candidate)
+
+    minimized = shrink(_program(40), reproduces)
+    assert len(minimized) == 1
+    assert minimized[0].value == 13
+
+
+def test_one_minimal_for_conjunction():
+    # Needs BOTH imm==3 and imm==17 present: every survivor is necessary.
+    def reproduces(candidate):
+        imms = {i.value for i in candidate if isinstance(i, MovImm)}
+        return {3, 17} <= imms
+
+    minimized = shrink(_program(30), reproduces)
+    assert sorted(i.value for i in minimized) == [3, 17]
+    for index in range(len(minimized)):
+        assert not reproduces(minimized[:index] + minimized[index + 1:])
+
+
+def test_deterministic():
+    def reproduces(candidate):
+        return sum(isinstance(i, AluImm) for i in candidate) >= 2
+
+    program = _program(10) + [AluImm("r0", "r0", 1, "add") for _ in range(6)]
+    a = shrink(program, reproduces)
+    b = shrink(program, reproduces)
+    assert [repr(i) for i in a] == [repr(i) for i in b]
+    assert len(a) == 2
+
+
+def test_non_reproducing_input_returned_unchanged():
+    program = _program(10)
+    assert shrink(program, lambda candidate: False) == program
+
+
+def test_report_shape():
+    def reproduces(candidate):
+        return any(isinstance(i, MovImm) and i.value == 2 for i in candidate)
+
+    report = shrink_report(_program(20), reproduces)
+    assert report["count"] == 1
+    assert report["original_count"] == 21
+    assert report["instructions"] == [repr(MovImm("r2", 2))]
