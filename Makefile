@@ -7,7 +7,7 @@ RESULTS ?= results
 
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test experiments-quick experiments-check experiments-all regen-experiments-md fuzz-smoke clean-cache
+.PHONY: test experiments-quick experiments-check experiments-all regen-experiments-md fuzz-smoke chaos-smoke clean-cache
 
 test:
 	$(PY) -m pytest -x -q
@@ -46,6 +46,28 @@ fuzz-smoke:
 	cmp $(RESULTS)-fuzz/serial.jsonl $(RESULTS)-fuzz/parallel.jsonl
 	rm -rf $(RESULTS)-fuzz
 	@echo "fuzz-smoke: clean and deterministic"
+
+## Chaos-tested recovery (docs/resilience.md): the same four-experiment
+## campaign runs clean, then under injected worker crash/hang/corruption
+## (which retries must absorb — manifests byte-identical to baseline),
+## then interrupted mid-campaign (must exit 3 with a checkpoint) and
+## resumed (must converge to the baseline manifest, byte for byte).
+## Every run uses the same --jobs so the manifests stay comparable;
+## --stable-meta zeroes wall times and worker pids for the same reason.
+CHAOS_NAMES = fig4 sec3-selection table1 fig2
+CHAOS_FLAGS = --jobs $(JOBS) --no-cache --stable-meta --timeout 10
+chaos-smoke:
+	rm -rf $(RESULTS)-chaos
+	$(PY) -m repro.experiments.runner $(CHAOS_NAMES) $(CHAOS_FLAGS) --json $(RESULTS)-chaos/baseline
+	$(PY) -m repro.experiments.runner $(CHAOS_NAMES) $(CHAOS_FLAGS) --json $(RESULTS)-chaos/faulted \
+		--chaos "crash@fig4,hang@table1,corrupt@fig2"
+	cmp $(RESULTS)-chaos/baseline/campaign.json $(RESULTS)-chaos/faulted/campaign.json
+	$(PY) -m repro.experiments.runner $(CHAOS_NAMES) $(CHAOS_FLAGS) --json $(RESULTS)-chaos/resumed \
+		--chaos "interrupt@fig4"; test $$? -eq 3
+	$(PY) -m repro.experiments.runner $(CHAOS_NAMES) $(CHAOS_FLAGS) --json $(RESULTS)-chaos/resumed --resume
+	cmp $(RESULTS)-chaos/baseline/campaign.json $(RESULTS)-chaos/resumed/campaign.json
+	rm -rf $(RESULTS)-chaos
+	@echo "chaos-smoke: crash/hang/corruption absorbed; interrupt+resume converged"
 
 clean-cache:
 	rm -rf .repro-cache .repro-corpus

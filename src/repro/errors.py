@@ -60,6 +60,29 @@ class ArtifactError(ReproError):
     """A result artifact or cache entry could not be read or validated."""
 
 
+class CampaignInterrupted(ReproError):
+    """A campaign was interrupted (SIGINT/SIGTERM) after checkpointing.
+
+    Raised by :func:`repro.experiments.runner.run_campaign` and
+    :func:`repro.fuzz.cli.run_fuzz_campaign` once in-flight work has been
+    drained and the resumable checkpoint written.  ``partial`` carries
+    whatever completed before the interrupt; ``checkpoint`` is the state
+    the next ``--resume`` run continues from.  The CLIs translate this to
+    exit code 3 (:data:`repro.runtime.exitcodes.EXIT_INTERRUPTED`).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        partial: "object | None" = None,
+        checkpoint: "object | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.partial = partial
+        self.checkpoint = checkpoint
+
+
 class AttackError(ReproError):
     """An attack primitive could not complete (e.g. no collision found)."""
 

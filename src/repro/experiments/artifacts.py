@@ -7,6 +7,12 @@ times, cache hits, library version.  Artifacts are the machine-readable
 counterpart of the text tables: EXPERIMENTS.md's measured-value tables
 are regenerated from them (:mod:`repro.experiments.report`), and the
 result cache (:mod:`repro.experiments.cache`) stores the same schema.
+
+All writes go through :func:`repro.runtime.atomic.atomic_write_json`
+(tmp file + fsync + ``os.replace``): the manifest doubles as the
+campaign's crash checkpoint — it is rewritten after every completion and
+read back by ``--resume`` — so a reader must never be able to observe a
+truncated document.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from typing import Any, Iterable
 
 from repro.errors import ArtifactError
 from repro.experiments.base import ExperimentResult
+from repro.runtime.atomic import atomic_write_json
 
 __all__ = [
     "artifact_path",
@@ -46,10 +53,7 @@ def write_artifact(
     (e.g. ``stl-inplace`` reports ``experiment_id`` of its own).
     """
     path = artifact_path(directory, name or result.experiment_id)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    payload = json.dumps(result.to_dict(), indent=2, sort_keys=True)
-    path.write_text(payload + "\n", encoding="utf-8")
-    return path
+    return atomic_write_json(path, result.to_dict())
 
 
 def read_artifact(path: str | Path) -> ExperimentResult:
@@ -87,12 +91,8 @@ def write_manifest(
     hit, worker); ``extra`` lands at the top level (jobs, version, ...).
     """
     path = Path(directory) / MANIFEST_NAME
-    path.parent.mkdir(parents=True, exist_ok=True)
     payload = {"experiments": list(entries), **extra}
-    path.write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-    )
-    return path
+    return atomic_write_json(path, payload)
 
 
 def read_manifest(directory: str | Path) -> dict[str, Any]:

@@ -16,8 +16,13 @@ inputs, canonically serialized:
 
 Entries are the same JSON documents as the artifacts in ``results/``
 (:mod:`repro.experiments.artifacts`), stored under
-``.repro-cache/<key[:2]>/<key>.json``.  A corrupt or schema-incompatible
-entry behaves as a miss and is removed, never an error.
+``.repro-cache/<key[:2]>/<key>.json`` and written atomically
+(:func:`repro.runtime.atomic.atomic_write_json`), so a SIGKILL mid-store
+can never leave a truncated entry.  A corrupt or schema-incompatible
+entry behaves as a miss and is **quarantined** — moved to
+``.repro-cache/quarantine/`` with a reason file and counted in
+:attr:`ResultCache.quarantined` — never silently deleted and never an
+error.
 """
 
 from __future__ import annotations
@@ -31,6 +36,8 @@ from pathlib import Path
 from repro.core.config import CpuModel, default_model
 from repro.errors import ArtifactError
 from repro.experiments.base import ExperimentResult
+from repro.runtime.atomic import atomic_write_json
+from repro.runtime.quarantine import QUARANTINE_DIR, quarantine
 
 __all__ = ["ResultCache", "cache_key", "content_key", "DEFAULT_CACHE_DIR"]
 
@@ -75,6 +82,9 @@ class ResultCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        #: Corrupt entries moved to ``<root>/quarantine/`` by :meth:`get`;
+        #: surfaced in the campaign summary and manifest.
+        self.quarantined = 0
 
     def _entry(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -83,15 +93,24 @@ class ResultCache:
         """Return the cached result for ``key``, or None on a miss.
 
         A hit is returned with ``cache_hit=True`` so downstream rendering
-        and manifests can tell replayed results from fresh ones.
+        and manifests can tell replayed results from fresh ones.  An
+        entry that exists but cannot be decoded or validated is a miss
+        too, but the evidence is preserved: the file moves to the
+        quarantine directory and :attr:`quarantined` is bumped.
         """
         path = self._entry(key)
         try:
-            data = json.loads(path.read_text(encoding="utf-8"))
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        try:
+            data = json.loads(raw.decode("utf-8"))
             result = ExperimentResult.from_dict(data)
-        except (FileNotFoundError, json.JSONDecodeError, ArtifactError):
-            if path.exists():
-                path.unlink(missing_ok=True)
+        except (json.JSONDecodeError, UnicodeDecodeError, KeyError,
+                ArtifactError, OSError) as exc:
+            if quarantine(self.root, path, f"cache entry {key}: {exc!r}"):
+                self.quarantined += 1
             self.misses += 1
             return None
         self.hits += 1
@@ -99,17 +118,10 @@ class ResultCache:
         return result
 
     def put(self, key: str, result: ExperimentResult) -> Path:
-        """Store ``result`` under ``key`` (atomically enough for one host)."""
-        path = self._entry(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
+        """Store ``result`` under ``key`` atomically and durably."""
         stored = result.to_dict()
         stored["cache_hit"] = False  # the stamp is per-run, not part of content
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(
-            json.dumps(stored, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-        )
-        tmp.replace(path)
-        return path
+        return atomic_write_json(self._entry(key), stored)
 
     def clear(self) -> None:
         shutil.rmtree(self.root, ignore_errors=True)
@@ -117,4 +129,7 @@ class ResultCache:
     def __len__(self) -> int:
         if not self.root.exists():
             return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(
+            1 for path in self.root.glob("*/*.json")
+            if path.parent.name != QUARANTINE_DIR
+        )

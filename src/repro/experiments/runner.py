@@ -19,6 +19,14 @@ The runner is a campaign engine, not a loop:
 Rendered output is emitted in request order whatever the completion
 order, so ``--jobs 8`` and ``--jobs 1`` print byte-identical reports.
 See docs/experiments.md for the full catalog.
+
+Execution is resilient (see docs/resilience.md): workers run under the
+supervised pool in :mod:`repro.runtime.supervisor` — per-task
+``--timeout`` deadlines, ``--retries`` with deterministic backoff, crash
+isolation — the manifest is checkpointed atomically after every
+completion so ``--resume`` continues an interrupted campaign, and tasks
+that exhaust their retries become structured failure entries instead of
+aborting the run.
 """
 
 from __future__ import annotations
@@ -27,12 +35,16 @@ import argparse
 import os
 import sys
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
-from repro.errors import UnknownExperimentError
+from repro.errors import (
+    ArtifactError,
+    CampaignInterrupted,
+    ConfigError,
+    UnknownExperimentError,
+)
 from repro.experiments import (
     attack_evals,
     fig2_exec_types,
@@ -51,15 +63,32 @@ from repro.experiments import (
     table3_platforms,
     table4_comparison,
 )
-from repro.experiments.artifacts import write_artifact, write_manifest
+from repro.experiments.artifacts import (
+    MANIFEST_NAME,
+    artifact_path,
+    read_artifact,
+    read_manifest,
+    write_artifact,
+    write_manifest,
+)
 from repro.experiments.base import ExperimentResult
 from repro.experiments.cache import DEFAULT_CACHE_DIR, ResultCache, cache_key
+from repro.runtime import exitcodes
+from repro.runtime.chaos import CHAOS_ENV_VAR, ChaosPlan
+from repro.runtime.quarantine import quarantine
+from repro.runtime.supervisor import (
+    DEFAULT_GRACE_S,
+    DEFAULT_RETRIES,
+    TaskFailure,
+    run_supervised,
+)
 
 __all__ = [
     "EXPERIMENTS",
     "QUICK_SET",
     "COST_TIERS",
     "ExperimentSpec",
+    "CampaignResult",
     "run_experiment",
     "run_campaign",
     "main",
@@ -139,20 +168,113 @@ def run_experiment(name: str, seed: int | None = None) -> ExperimentResult:
     return spec.driver(seed=effective_seed(name, seed))
 
 
-def _execute(name: str, seed: int | None) -> dict[str, Any]:
+def _execute(
+    name: str, seed: int | None, stable_meta: bool = False
+) -> dict[str, Any]:
     """Worker entry point: run one experiment, return the artifact dict.
 
-    Runs in the pool processes under ``--jobs N`` (and inline for serial
+    Runs in the supervised pool processes (and inline for plain serial
     runs, so both paths produce identical JSON-normalized results).  The
     dict form crosses the process boundary instead of the dataclass so a
     worker can never ship cells the artifact layer would not round-trip.
+    ``stable_meta`` zeroes the volatile run metadata (wall time, worker
+    pid) so artifacts and manifests become byte-comparable across runs —
+    the mode the chaos/resume convergence checks rely on.
     """
     started = time.perf_counter()
     result = run_experiment(name, seed)
     result.seed = effective_seed(name, seed)
-    result.wall_time_s = round(time.perf_counter() - started, 3)
-    result.worker = f"pid:{os.getpid()}"
+    if stable_meta:
+        result.wall_time_s = 0.0
+        result.worker = "-"
+    else:
+        result.wall_time_s = round(time.perf_counter() - started, 3)
+        result.worker = f"pid:{os.getpid()}"
     return result.to_dict()
+
+
+def _execute_task(payload: dict) -> dict[str, Any]:
+    """Supervised-pool adapter around :func:`_execute` (payload dict in)."""
+    return _execute(payload["name"], payload["seed"], payload["stable_meta"])
+
+
+class CampaignResult(list):
+    """Completed results in request order, plus campaign telemetry.
+
+    A list of :class:`ExperimentResult` (failed/unfinished names are
+    absent — ``completed_names`` is the parallel name list), with the
+    structured failures, quarantine count and resume statistics the
+    manifest also records.
+    """
+
+    def __init__(
+        self,
+        results: Sequence[ExperimentResult] = (),
+        *,
+        names: Sequence[str] = (),
+        failures: Sequence[TaskFailure] = (),
+        quarantined: int = 0,
+        resumed: int = 0,
+        retried: int = 0,
+    ) -> None:
+        super().__init__(results)
+        self.completed_names = list(names)
+        self.failures = list(failures)
+        self.quarantined = quarantined
+        self.resumed = resumed
+        self.retried = retried
+
+
+def _recover_checkpoint(
+    json_dir: str | Path,
+    names: Sequence[str],
+    seed: int | None,
+    keys: dict[str, str],
+) -> tuple[dict[str, ExperimentResult], int]:
+    """Load completed entries from a previous campaign's checkpoint.
+
+    Resume trusts only what re-validates: a truncated/corrupt manifest is
+    quarantined (never deleted) and the per-experiment artifacts are then
+    consulted directly; an artifact only counts when it parses and its
+    recorded seed matches the current run, and when a readable manifest
+    is present its ``cache_key`` must match too (so results from another
+    model/version are re-run, not resumed).
+    """
+    directory = Path(json_dir)
+    recovered: dict[str, ExperimentResult] = {}
+    quarantined = 0
+    listed: dict[str, dict] | None = None
+    if (directory / MANIFEST_NAME).exists():
+        try:
+            manifest = read_manifest(directory)
+            listed = {
+                entry["name"]: entry
+                for entry in manifest.get("experiments", [])
+                if entry.get("status", "ok") == "ok" and "name" in entry
+            }
+        except ArtifactError as exc:
+            if quarantine(directory, directory / MANIFEST_NAME,
+                          f"unreadable checkpoint manifest: {exc}"):
+                quarantined += 1
+            listed = None
+    for name in names:
+        if listed is not None:
+            entry = listed.get(name)
+            if entry is None or entry.get("cache_key") != keys[name]:
+                continue
+        path = artifact_path(directory, name)
+        if not path.exists():
+            continue
+        try:
+            result = read_artifact(path)
+        except ArtifactError as exc:
+            if quarantine(directory, path, f"unreadable artifact: {exc}"):
+                quarantined += 1
+            continue
+        if result.seed != effective_seed(name, seed):
+            continue
+        recovered[name] = result
+    return recovered, quarantined
 
 
 def run_campaign(
@@ -164,77 +286,159 @@ def run_campaign(
     cache_dir: str | Path = DEFAULT_CACHE_DIR,
     json_dir: str | Path | None = None,
     progress: Callable[[str], None] | None = None,
-) -> list[ExperimentResult]:
-    """Run a set of experiments, possibly in parallel, with caching.
+    timeout: float | None = None,
+    retries: int = DEFAULT_RETRIES,
+    resume: bool = False,
+    chaos: str | None = None,
+    stable_meta: bool = False,
+    grace_s: float = DEFAULT_GRACE_S,
+) -> CampaignResult:
+    """Run a set of experiments under the supervised campaign runtime.
 
-    Returns results in ``names`` order regardless of completion order.
-    Unknown names raise :class:`UnknownExperimentError` before any work
-    is scheduled.  ``progress`` (if given) receives one human-readable
-    line per completion event.
+    Returns completed results in ``names`` order regardless of completion
+    order; tasks that exhaust ``retries`` become :class:`TaskFailure`
+    entries on the returned :class:`CampaignResult` (and in the manifest)
+    instead of aborting the campaign.  Unknown names raise
+    :class:`UnknownExperimentError` before any work is scheduled.
+
+    With ``json_dir`` the manifest is rewritten atomically after every
+    completion, so the campaign is checkpointed at all times; ``resume``
+    skips entries the checkpoint already completed.  On SIGINT/SIGTERM
+    in-flight tasks are drained for ``grace_s`` seconds, the checkpoint
+    is written, and :class:`repro.errors.CampaignInterrupted` is raised.
+    ``chaos`` arms the test-only fault injector
+    (:mod:`repro.runtime.chaos`).  ``progress`` (if given) receives one
+    human-readable line per scheduling event.
     """
     for name in names:
         _spec(name)
+    if resume and json_dir is None:
+        raise ConfigError("--resume requires --json DIR (the checkpoint lives there)")
     say = progress or (lambda line: None)
     cache = ResultCache(cache_dir) if use_cache else None
+    keys = {name: cache_key(name, effective_seed(name, seed)) for name in names}
 
-    results: dict[str, ExperimentResult] = {}
-    keys: dict[str, str] = {}
-    pending: list[str] = []
+    completed: dict[str, ExperimentResult] = {}
+    failures: list[TaskFailure] = []
+    quarantined = 0
+    resumed = 0
+
+    if resume:
+        recovered, quarantined = _recover_checkpoint(json_dir, names, seed, keys)
+        for name, result in recovered.items():
+            completed[name] = result
+            say(f"{name}: resumed from checkpoint")
+        resumed = len(recovered)
+
     for name in names:
-        keys[name] = cache_key(name, effective_seed(name, seed))
-        cached = cache.get(keys[name]) if cache is not None else None
+        if name in completed or cache is None:
+            continue
+        cached = cache.get(keys[name])
         if cached is not None:
-            results[name] = cached
+            completed[name] = cached
             say(f"{name}: cache hit ({keys[name][:12]})")
-        else:
-            pending.append(name)
 
-    if pending and jobs > 1:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            futures = {
-                pool.submit(_execute, name, seed): name for name in pending
-            }
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in done:
-                    name = futures[future]
-                    result = ExperimentResult.from_dict(future.result())
-                    results[name] = result
-                    say(f"{name}: completed in {result.wall_time_s:.1f}s "
-                        f"[{result.worker}]")
-    else:
-        for name in pending:
-            result = ExperimentResult.from_dict(_execute(name, seed))
-            results[name] = result
-            say(f"{name}: completed in {result.wall_time_s:.1f}s")
-
-    if cache is not None:
-        for name in pending:
-            cache.put(keys[name], results[name])
-
-    ordered = [results[name] for name in names]
-    if json_dir is not None:
-        for name, result in zip(names, ordered):
-            write_artifact(result, json_dir, name)
-        write_manifest(
+    def _checkpoint(interrupted: bool = False) -> Path | None:
+        if json_dir is None:
+            return None
+        entries: list[dict[str, Any]] = []
+        for name in names:
+            if name in completed:
+                result = completed[name]
+                entries.append(
+                    {
+                        "name": name,
+                        "seed": result.seed,
+                        "wall_time_s": result.wall_time_s,
+                        "worker": result.worker,
+                        "cache_hit": result.cache_hit,
+                        "cache_key": keys[name],
+                        "status": "ok",
+                    }
+                )
+            else:
+                failure = next((f for f in failures if f.task == name), None)
+                if failure is not None:
+                    entries.append(
+                        {
+                            "name": name,
+                            "cache_key": keys[name],
+                            "status": "failed",
+                            "failure": failure.to_dict(),
+                        }
+                    )
+        return write_manifest(
             json_dir,
-            (
-                {
-                    "name": name,
-                    "seed": result.seed,
-                    "wall_time_s": result.wall_time_s,
-                    "worker": result.worker,
-                    "cache_hit": result.cache_hit,
-                    "cache_key": keys[name],
-                }
-                for name, result in zip(names, ordered)
-            ),
+            entries,
             jobs=jobs,
-            cached=sum(result.cache_hit for result in ordered),
+            cached=sum(r.cache_hit for r in completed.values()),
             version=_version(),
+            failures=[f.to_dict() for f in failures],
+            interrupted=interrupted,
+            quarantined=quarantined + (cache.quarantined if cache else 0),
         )
-    return ordered
+
+    if json_dir is not None:
+        for name in names:
+            if name in completed:
+                write_artifact(completed[name], json_dir, name)
+        _checkpoint()
+
+    def on_result(name: str, result: ExperimentResult) -> None:
+        completed[name] = result
+        if cache is not None:
+            cache.put(keys[name], result)
+        if json_dir is not None:
+            write_artifact(result, json_dir, name)
+            _checkpoint()
+        say(f"{name}: completed in {result.wall_time_s:.1f}s [{result.worker}]")
+
+    pending = [name for name in names if name not in completed]
+    interrupted = False
+    chaos_plan = ChaosPlan.from_spec(chaos) if chaos else None
+    try:
+        if pending:
+            report = run_supervised(
+                [
+                    (name, {"name": name, "seed": seed, "stable_meta": stable_meta})
+                    for name in pending
+                ],
+                _execute_task,
+                jobs=jobs,
+                timeout=timeout,
+                retries=retries,
+                chaos=chaos_plan,
+                validate=ExperimentResult.from_dict,
+                on_result=on_result,
+                progress=say,
+                grace_s=grace_s,
+            )
+            failures.extend(report.failures)
+            interrupted = report.interrupted
+            retried = report.retried
+        else:
+            retried = 0
+    finally:
+        if chaos_plan is not None:
+            chaos_plan.cleanup()
+
+    checkpoint_path = _checkpoint(interrupted=interrupted)
+    campaign = CampaignResult(
+        [completed[name] for name in names if name in completed],
+        names=[name for name in names if name in completed],
+        failures=failures,
+        quarantined=quarantined + (cache.quarantined if cache else 0),
+        resumed=resumed,
+        retried=retried,
+    )
+    if interrupted:
+        raise CampaignInterrupted(
+            f"campaign interrupted with {len(campaign)}/{len(names)} "
+            f"experiment(s) checkpointed",
+            partial=campaign,
+            checkpoint=checkpoint_path,
+        )
+    return campaign
 
 
 def _version() -> str:
@@ -293,15 +497,42 @@ def main(argv: list[str] | None = None) -> int:
         "--cost", default=None, metavar="TIERS",
         help="filter the selection by cost tier(s), e.g. fast or fast,medium",
     )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-experiment deadline; a hung worker is killed and retried",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=DEFAULT_RETRIES, metavar="N",
+        help=f"retry budget per experiment after a crash/timeout/error "
+             f"(default {DEFAULT_RETRIES}, deterministic backoff)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip experiments already completed in the --json DIR checkpoint "
+             "(after a crash or Ctrl-C)",
+    )
+    parser.add_argument(
+        "--stable-meta", action="store_true",
+        help="zero volatile run metadata (wall times, worker pids) so "
+             "artifacts and manifests are byte-comparable across runs",
+    )
+    parser.add_argument(
+        "--chaos", default=os.environ.get(CHAOS_ENV_VAR), metavar="SPEC",
+        help="self-test: inject runtime faults, e.g. "
+             "'crash@fig4,hang@table1,corrupt@fig2,interrupt@fig5' "
+             f"(default from ${CHAOS_ENV_VAR})",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
         for name, spec in EXPERIMENTS.items():
             print(f"{name:20s} {spec.artifact:18s} [{spec.cost}]")
-        return 0
+        return exitcodes.EXIT_OK
 
     try:
         names = _select(args)
+        if args.resume and args.json is None:
+            raise _UsageError("--resume requires --json DIR")
         started = time.perf_counter()
         results = run_campaign(
             names,
@@ -311,22 +542,47 @@ def main(argv: list[str] | None = None) -> int:
             cache_dir=args.cache_dir,
             json_dir=args.json,
             progress=lambda line: print(f"  .. {line}", file=sys.stderr),
+            timeout=args.timeout,
+            retries=max(0, args.retries),
+            resume=args.resume,
+            chaos=args.chaos,
+            stable_meta=args.stable_meta,
         )
-    except (UnknownExperimentError, _UsageError) as exc:
+    except (UnknownExperimentError, ConfigError, _UsageError) as exc:
         print(f"repro-experiments: {exc}", file=sys.stderr)
-        return 2
+        return exitcodes.EXIT_USAGE
+    except CampaignInterrupted as exc:
+        print(f"repro-experiments: {exc}", file=sys.stderr)
+        print(
+            f"repro-experiments: checkpoint written to {args.json}; "
+            f"re-run with --resume --json {args.json} to continue",
+            file=sys.stderr,
+        )
+        return exitcodes.EXIT_INTERRUPTED
 
-    for name, result in zip(names, results):
+    for name, result in zip(results.completed_names, results):
         print(result.render())
         suffix = " (cached)" if result.cache_hit else ""
         print(f"[{name} completed in {result.wall_time_s:.1f}s{suffix}]")
         print()
+    for failure in results.failures:
+        print(
+            f"FAILED {failure.task}: {failure.kind} after "
+            f"{failure.attempts} attempt(s) — {failure.message}"
+        )
     cached = sum(result.cache_hit for result in results)
+    extras = ""
+    if results.failures:
+        extras += f", {len(results.failures)} failed"
+    if results.resumed:
+        extras += f", {results.resumed} resumed"
+    if results.quarantined:
+        extras += f", {results.quarantined} corrupt file(s) quarantined"
     print(
-        f"campaign: {len(results)} experiments, {cached} from cache, "
+        f"campaign: {len(results)} experiments, {cached} from cache{extras}, "
         f"{time.perf_counter() - started:.1f}s wall with --jobs {max(1, args.jobs)}"
     )
-    return 0
+    return exitcodes.EXIT_FAILURES if results.failures else exitcodes.EXIT_OK
 
 
 if __name__ == "__main__":

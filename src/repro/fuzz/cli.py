@@ -17,39 +17,66 @@ are emitted in task order whatever the completion order, so ``--jobs 8``
 and ``--jobs 1`` write **byte-identical** findings files — the same
 determinism contract the experiment campaign runner keeps.
 
-Exit status: 0 when the run is clean, 1 when it found a *regression* —
-any architectural divergence, any oracle-invariant violation, or a leak
-under an active mitigation (``ssbd``/``fence``).  Leaks under ``none``
-are the paper's attacks working as intended and do not fail the run.
+Campaigns run under the shared resilient runtime (docs/resilience.md):
+``--timeout`` kills and retries hung workers, worker crashes cost one
+attempt instead of the whole run, and completed tasks stream into an
+atomic checkpoint (``<out>.checkpoint.json``) that ``--resume`` replays
+after a crash or Ctrl-C — converging to the same findings file an
+uninterrupted run would have written.
+
+Exit status follows the shared campaign contract
+(:mod:`repro.runtime.exitcodes`): 0 clean, 1 when the run found a
+*regression* — any architectural divergence, any oracle-invariant
+violation, a leak under an active mitigation (``ssbd``/``fence``) — or
+any task exhausted its retries; 2 on bad usage; 3 when interrupted with
+a checkpoint written.  Leaks under ``none`` are the paper's attacks
+working as intended and do not fail the run.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import random
 import sys
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.core.config import ZEN3_MODELS
-from repro.errors import ConfigError
+from repro.errors import ArtifactError, CampaignInterrupted, ConfigError
+from repro.experiments.cache import content_key
 from repro.fuzz import corpus as corpus_mod
 from repro.fuzz import harness, oracle
 from repro.fuzz.corpus import DEFAULT_CORPUS_DIR, Corpus, CorpusEntry
 from repro.fuzz.findings import Finding, write_findings
 from repro.fuzz.shrink import shrink_report
+from repro.runtime import exitcodes
+from repro.runtime.atomic import atomic_write_json
+from repro.runtime.chaos import CHAOS_ENV_VAR, ChaosPlan
+from repro.runtime.quarantine import quarantine
+from repro.runtime.supervisor import (
+    DEFAULT_GRACE_S,
+    DEFAULT_RETRIES,
+    TaskFailure,
+    run_supervised,
+)
 
 __all__ = [
     "DEFAULT_BUDGET",
     "DEFAULT_MITIGATIONS",
+    "CHECKPOINT_SCHEMA",
+    "FuzzCampaignResult",
+    "checkpoint_path",
     "derive_case",
     "build_tasks",
     "run_fuzz_campaign",
     "regressions",
     "main",
 ]
+
+CHECKPOINT_SCHEMA = 1
 
 DEFAULT_BUDGET = 100
 DEFAULT_MITIGATIONS = ("none", "ssbd")
@@ -193,6 +220,81 @@ def _oracle_findings(task: dict, model: str | None, mitigation: str) -> list[dic
     return [finding.to_dict()]
 
 
+def _validate_findings(found: object) -> list[dict]:
+    """Supervised-pool result validation: every finding must round-trip."""
+    if not isinstance(found, list):
+        raise ArtifactError(
+            f"worker returned {type(found).__name__}, expected a findings list"
+        )
+    for data in found:
+        Finding.from_dict(data)
+    return found
+
+
+class FuzzCampaignResult(list):
+    """Findings in stable task order, plus campaign telemetry."""
+
+    def __init__(
+        self,
+        findings: Sequence[Finding] = (),
+        *,
+        failures: Sequence[TaskFailure] = (),
+        quarantined: int = 0,
+        resumed: int = 0,
+        retried: int = 0,
+    ) -> None:
+        super().__init__(findings)
+        self.failures = list(failures)
+        self.quarantined = quarantined
+        self.resumed = resumed
+        self.retried = retried
+
+
+def checkpoint_path(out: str | Path) -> Path:
+    """Where the resumable checkpoint for findings file ``out`` lives."""
+    out = Path(out)
+    return out.with_name(out.name + ".checkpoint.json")
+
+
+def _campaign_fingerprint(tasks: list[dict]) -> str:
+    """Content address binding a checkpoint to one exact task list.
+
+    Any change to the campaign parameters, the corpus replay set or the
+    task derivation produces different task dicts and therefore a
+    different fingerprint — a stale checkpoint is then ignored rather
+    than splicing mismatched results into the findings.
+    """
+    return content_key({"schema": CHECKPOINT_SCHEMA, "tasks": tasks})
+
+
+def _recover_fuzz_checkpoint(
+    path: Path, fingerprint: str, say: Callable[[str], None]
+) -> tuple[dict[int, list[dict]], int]:
+    """Completed task results from a previous run's checkpoint, validated."""
+    if not path.exists():
+        return {}, 0
+    try:
+        data = json.loads(path.read_bytes().decode("utf-8"))
+        if data["schema"] != CHECKPOINT_SCHEMA:
+            raise ArtifactError(f"checkpoint schema {data['schema']} unsupported")
+        stored_fingerprint = data["fingerprint"]
+        completed = {
+            int(task_id): _validate_findings(found)
+            for task_id, found in data["completed"].items()
+        }
+    except (json.JSONDecodeError, UnicodeDecodeError, KeyError, TypeError,
+            ValueError, ArtifactError) as exc:
+        quarantined = 0
+        if quarantine(path.parent, path, f"unreadable fuzz checkpoint: {exc!r}"):
+            quarantined = 1
+        say(f"checkpoint {path} unreadable; quarantined and starting fresh")
+        return {}, quarantined
+    if stored_fingerprint != fingerprint:
+        say(f"checkpoint {path} belongs to a different campaign; ignoring")
+        return {}, 0
+    return completed, 0
+
+
 def run_fuzz_campaign(
     *,
     budget: int = DEFAULT_BUDGET,
@@ -204,12 +306,27 @@ def run_fuzz_campaign(
     shrink: bool = True,
     inject: str | None = None,
     progress: Callable[[str], None] | None = None,
-) -> list[Finding]:
+    timeout: float | None = None,
+    retries: int = DEFAULT_RETRIES,
+    checkpoint: str | Path | None = None,
+    resume: bool = False,
+    chaos: str | None = None,
+    grace_s: float = DEFAULT_GRACE_S,
+) -> FuzzCampaignResult:
     """Run one campaign; returns findings in stable task order.
 
     ``corpus_dir=None`` disables the on-disk corpus (built-in regression
     entries are still replayed); otherwise new architectural findings are
     persisted there for future campaigns to replay first.
+
+    Execution is supervised (:mod:`repro.runtime.supervisor`): hung
+    workers are killed at ``timeout`` and retried, crashes cost one
+    attempt, and tasks that exhaust ``retries`` become failure entries on
+    the returned :class:`FuzzCampaignResult`.  With ``checkpoint`` set,
+    completed tasks are persisted atomically as they land; ``resume``
+    replays them (the checkpoint is deleted on clean completion).  On
+    SIGINT/SIGTERM the in-flight tasks are drained, the checkpoint is
+    written, and :class:`repro.errors.CampaignInterrupted` is raised.
     """
     for mitigation in mitigations:
         if mitigation not in harness.MITIGATIONS:
@@ -224,34 +341,82 @@ def run_fuzz_campaign(
         budget=budget, seed=seed, mitigations=mitigations,
         model_name=model_name, replay=replay, inject=inject, shrink=shrink,
     )
+    by_id = {task["task"]: task for task in tasks}
+    fingerprint = _campaign_fingerprint(tasks)
+    checkpoint = Path(checkpoint) if checkpoint is not None else None
 
     results: dict[int, list[dict]] = {}
+    quarantined = 0
+    resumed = 0
+    if resume and checkpoint is not None:
+        results, quarantined = _recover_fuzz_checkpoint(checkpoint, fingerprint, say)
+        resumed = len(results)
+        if resumed:
+            say(f"resumed {resumed} completed task(s) from {checkpoint}")
 
-    def record(task: dict, found: list[dict]) -> None:
-        results[task["task"]] = found
+    def write_checkpoint() -> None:
+        if checkpoint is not None:
+            atomic_write_json(
+                checkpoint,
+                {
+                    "schema": CHECKPOINT_SCHEMA,
+                    "fingerprint": fingerprint,
+                    "completed": {
+                        str(task_id): results[task_id]
+                        for task_id in sorted(results)
+                    },
+                },
+            )
+
+    def on_result(task_id: int, found: list[dict]) -> None:
+        results[task_id] = found
+        write_checkpoint()
+        task = by_id[task_id]
         verdict = f"{len(found)} finding(s)" if found else "clean"
         say(
             f"task {task['task']:3d} {task['check']:<12s} "
             f"{task['generator']} seed={task['seed']}: {verdict}"
         )
 
-    if jobs > 1 and tasks:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-            futures = {pool.submit(_run_task, task): task for task in tasks}
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in done:
-                    record(futures[future], future.result())
-    else:
-        for task in tasks:
-            record(task, _run_task(task))
+    pending = [task for task in tasks if task["task"] not in results]
+    chaos_plan = ChaosPlan.from_spec(chaos) if chaos else None
+    try:
+        report = run_supervised(
+            [(task["task"], task) for task in pending],
+            _run_task,
+            jobs=jobs,
+            timeout=timeout,
+            retries=retries,
+            chaos=chaos_plan,
+            validate=_validate_findings,
+            on_result=on_result,
+            progress=say,
+            grace_s=grace_s,
+        )
+    finally:
+        if chaos_plan is not None:
+            chaos_plan.cleanup()
 
     findings = [
         Finding.from_dict(data)
         for task_id in sorted(results)
         for data in results[task_id]
     ]
+    campaign = FuzzCampaignResult(
+        findings,
+        failures=report.failures,
+        quarantined=quarantined + (corp.quarantined if corp is not None else 0),
+        resumed=resumed,
+        retried=report.retried,
+    )
+    if report.interrupted:
+        write_checkpoint()
+        raise CampaignInterrupted(
+            f"fuzz campaign interrupted with {len(results)}/{len(tasks)} "
+            f"task(s) checkpointed",
+            partial=campaign,
+            checkpoint=checkpoint,
+        )
     if corp is not None:
         for finding in findings:
             if finding.kind != "leak" and finding.origin == "generated":
@@ -264,7 +429,9 @@ def run_fuzz_campaign(
                         origin="campaign",
                     )
                 )
-    return findings
+    if checkpoint is not None:
+        checkpoint.unlink(missing_ok=True)
+    return campaign
 
 
 def regressions(findings: Sequence[Finding]) -> list[Finding]:
@@ -330,6 +497,26 @@ def main(argv: list[str] | None = None) -> int:
         help="self-test: arm a pipeline fault-injection hook; the campaign "
              "must then report (and shrink) architectural divergences",
     )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task deadline; a hung worker is killed and retried",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=DEFAULT_RETRIES, metavar="N",
+        help=f"retry budget per task after a crash/timeout/error "
+             f"(default {DEFAULT_RETRIES}, deterministic backoff)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="replay tasks already completed in the checkpoint next to --out "
+             "(after a crash or Ctrl-C)",
+    )
+    parser.add_argument(
+        "--chaos", default=os.environ.get(CHAOS_ENV_VAR), metavar="SPEC",
+        help="self-test: inject runtime faults, e.g. "
+             "'crash@3,hang@5,corrupt@7,interrupt@9' "
+             f"(default from ${CHAOS_ENV_VAR})",
+    )
     args = parser.parse_args(argv)
 
     mitigations = [part.strip() for part in args.mitigation.split(",") if part.strip()]
@@ -349,10 +536,23 @@ def main(argv: list[str] | None = None) -> int:
             shrink=not args.no_shrink,
             inject=args.inject,
             progress=lambda line: print(f"  .. {line}", file=sys.stderr),
+            timeout=args.timeout,
+            retries=max(0, args.retries),
+            checkpoint=checkpoint_path(args.out),
+            resume=args.resume,
+            chaos=args.chaos,
         )
     except ConfigError as exc:
         print(f"repro-fuzz: {exc}", file=sys.stderr)
-        return 2
+        return exitcodes.EXIT_USAGE
+    except CampaignInterrupted as exc:
+        print(f"repro-fuzz: {exc}", file=sys.stderr)
+        print(
+            f"repro-fuzz: checkpoint written to {exc.checkpoint}; "
+            f"re-run with --resume to continue",
+            file=sys.stderr,
+        )
+        return exitcodes.EXIT_INTERRUPTED
 
     path = write_findings(args.out, findings)
     by_kind: dict[str, int] = {}
@@ -367,12 +567,25 @@ def main(argv: list[str] | None = None) -> int:
     for kind in sorted(by_kind):
         print(f"  {kind}: {by_kind[kind]}")
     print(f"  findings written to {path}")
-    if bad:
-        print(f"REGRESSIONS: {len(bad)} finding(s) that must not happen "
-              f"(architectural, or leaking despite mitigation)")
-        return 1
+    if findings.resumed:
+        print(f"  resumed {findings.resumed} task(s) from checkpoint")
+    if findings.quarantined:
+        print(f"  quarantined {findings.quarantined} corrupt file(s)")
+    for failure in findings.failures:
+        print(
+            f"  FAILED task {failure.task}: {failure.kind} after "
+            f"{failure.attempts} attempt(s) — {failure.message}"
+        )
+    if bad or findings.failures:
+        if bad:
+            print(f"REGRESSIONS: {len(bad)} finding(s) that must not happen "
+                  f"(architectural, or leaking despite mitigation)")
+        if findings.failures:
+            print(f"FAILURES: {len(findings.failures)} task(s) exhausted "
+                  f"their retry budget")
+        return exitcodes.EXIT_FAILURES
     print("clean: no architectural divergences, no mitigated leaks")
-    return 0
+    return exitcodes.EXIT_OK
 
 
 if __name__ == "__main__":

@@ -26,6 +26,8 @@ from pathlib import Path
 from repro.errors import ArtifactError
 from repro.experiments.cache import content_key
 from repro.fuzz.gen import GENERATORS
+from repro.runtime.atomic import atomic_write_json
+from repro.runtime.quarantine import QUARANTINE_DIR, quarantine
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -134,40 +136,41 @@ class Corpus:
 
     def __init__(self, root: str | Path = DEFAULT_CORPUS_DIR) -> None:
         self.root = Path(root)
+        #: Corrupt entries moved to ``<root>/quarantine/`` by :meth:`entries`.
+        self.quarantined = 0
 
     def _entry_path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
     def add(self, entry: CorpusEntry) -> Path:
-        """Persist ``entry``; adding a known case is a no-op."""
+        """Persist ``entry`` atomically; adding a known case is a no-op."""
         path = self._entry_path(entry.key)
         if path.exists():
             return path
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(
-            json.dumps(entry.to_dict(), indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
-        )
-        tmp.replace(path)
-        return path
+        return atomic_write_json(path, entry.to_dict())
 
     def entries(self) -> list[CorpusEntry]:
         """Every stored entry, sorted by content key (stable replay order).
 
-        A corrupt file behaves as absent and is removed, never an error —
-        the same forgiveness the result cache applies.
+        A corrupt file behaves as absent, but is quarantined under
+        ``<root>/quarantine/`` with a reason file (and counted in
+        :attr:`quarantined`) rather than deleted — the same discipline
+        the result cache applies.
         """
         found: list[tuple[str, CorpusEntry]] = []
         if not self.root.exists():
             return []
         for path in sorted(self.root.glob("*/*.json")):
+            if path.parent.name == QUARANTINE_DIR:
+                continue
             try:
                 entry = CorpusEntry.from_dict(
-                    json.loads(path.read_text(encoding="utf-8"))
+                    json.loads(path.read_bytes().decode("utf-8"))
                 )
-            except (json.JSONDecodeError, ArtifactError):
-                path.unlink(missing_ok=True)
+            except (json.JSONDecodeError, UnicodeDecodeError, KeyError,
+                    ArtifactError, OSError) as exc:
+                if quarantine(self.root, path, f"corpus entry: {exc!r}"):
+                    self.quarantined += 1
                 continue
             found.append((entry.key, entry))
         return [entry for _, entry in sorted(found, key=lambda pair: pair[0])]
@@ -178,7 +181,10 @@ class Corpus:
     def __len__(self) -> int:
         if not self.root.exists():
             return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(
+            1 for path in self.root.glob("*/*.json")
+            if path.parent.name != QUARANTINE_DIR
+        )
 
 
 def replay_order(corpus: Corpus | None = None) -> list[CorpusEntry]:

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import ArtifactError
+from repro.runtime.atomic import atomic_write_text
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -116,14 +117,14 @@ def canonical_line(finding: Finding) -> str:
 
 
 def write_findings(path: str | Path, findings: list[Finding]) -> Path:
-    """Write a findings JSONL file atomically; returns the path."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
+    """Write a findings JSONL file atomically and durably; returns the path.
+
+    Delegates to the shared runtime helper
+    (:func:`repro.runtime.atomic.atomic_write_text`) so findings carry
+    the same crash-safety guarantee as every other campaign artifact.
+    """
     body = "".join(canonical_line(finding) + "\n" for finding in findings)
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    tmp.write_text(body, encoding="utf-8")
-    tmp.replace(path)
-    return path
+    return atomic_write_text(path, body)
 
 
 def read_findings(path: str | Path) -> list[Finding]:

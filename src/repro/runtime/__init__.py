@@ -1,0 +1,59 @@
+"""Resilient campaign runtime shared by ``repro-experiments`` and ``repro-fuzz``.
+
+Both campaign engines are long-running batch jobs whose value depends on
+surviving partial failure: a hung driver must not stall the pool, a
+crashed worker must not abort the campaign, and a SIGKILL mid-run must
+never leave truncated JSON behind.  This package owns that discipline so
+the two CLIs cannot drift apart:
+
+* :mod:`repro.runtime.atomic` — the one atomic-persistence helper
+  (tmp file + fsync + ``os.replace``) every JSON/JSONL writer uses;
+* :mod:`repro.runtime.supervisor` — a supervised process pool with
+  per-task deadlines, capped deterministic retry backoff, crash
+  isolation and graceful SIGINT/SIGTERM drains;
+* :mod:`repro.runtime.quarantine` — corrupt state files are moved aside
+  with a reason file and counted, never silently deleted;
+* :mod:`repro.runtime.chaos` — the test-only fault injector that proves
+  all of the above actually works (``--chaos`` / ``REPRO_RUNTIME_CHAOS``);
+* :mod:`repro.runtime.exitcodes` — the exit-code contract both CLIs
+  share (0 ok, 1 findings/failed tasks, 2 usage, 3 interrupted).
+
+See docs/resilience.md for the full semantics.
+"""
+
+from repro.runtime.atomic import atomic_write_json, atomic_write_text
+from repro.runtime.chaos import ChaosPlan
+from repro.runtime.exitcodes import (
+    EXIT_FAILURES,
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    EXIT_USAGE,
+)
+from repro.runtime.quarantine import QUARANTINE_DIR, quarantine, quarantined_files
+from repro.runtime.supervisor import (
+    DEFAULT_GRACE_S,
+    DEFAULT_RETRIES,
+    SupervisorReport,
+    TaskFailure,
+    backoff_schedule,
+    run_supervised,
+)
+
+__all__ = [
+    "atomic_write_json",
+    "atomic_write_text",
+    "ChaosPlan",
+    "EXIT_OK",
+    "EXIT_FAILURES",
+    "EXIT_USAGE",
+    "EXIT_INTERRUPTED",
+    "QUARANTINE_DIR",
+    "quarantine",
+    "quarantined_files",
+    "DEFAULT_RETRIES",
+    "DEFAULT_GRACE_S",
+    "SupervisorReport",
+    "TaskFailure",
+    "backoff_schedule",
+    "run_supervised",
+]

@@ -1,0 +1,41 @@
+"""The exit-code contract shared by ``repro-experiments`` and ``repro-fuzz``.
+
+Both CLIs report campaign outcomes through the same four codes so shell
+drivers (the Makefile smoke targets, CI) can treat them uniformly:
+
+========================  =====  ==================================================
+constant                  value  meaning
+========================  =====  ==================================================
+:data:`EXIT_OK`           0      campaign completed clean
+:data:`EXIT_FAILURES`     1      completed, but with regressions/failed tasks
+:data:`EXIT_USAGE`        2      bad invocation (argparse, unknown name/mitigation)
+:data:`EXIT_INTERRUPTED`  3      SIGINT/SIGTERM; a resumable checkpoint was written
+========================  =====  ==================================================
+
+``EXIT_FAILURES`` covers fuzzing regressions (architectural divergences,
+mitigated leaks) *and* tasks that exhausted their retry budget — either
+way the campaign finished but its result is not clean.  After an
+``EXIT_INTERRUPTED`` the same command line plus ``--resume`` continues
+from the checkpoint.
+"""
+
+from __future__ import annotations
+
+__all__ = ["EXIT_OK", "EXIT_FAILURES", "EXIT_USAGE", "EXIT_INTERRUPTED", "describe"]
+
+EXIT_OK = 0
+EXIT_FAILURES = 1
+EXIT_USAGE = 2
+EXIT_INTERRUPTED = 3
+
+_MEANINGS = {
+    EXIT_OK: "campaign completed clean",
+    EXIT_FAILURES: "campaign completed with regressions or failed tasks",
+    EXIT_USAGE: "bad invocation",
+    EXIT_INTERRUPTED: "interrupted; checkpoint written (re-run with --resume)",
+}
+
+
+def describe(code: int) -> str:
+    """Human-readable meaning of a campaign exit code."""
+    return _MEANINGS.get(code, f"unknown exit code {code}")

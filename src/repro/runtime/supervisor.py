@@ -1,0 +1,434 @@
+"""Supervised task execution: deadlines, retries, crash isolation, drains.
+
+The campaign engines used to fan tasks over a bare
+``ProcessPoolExecutor``: a hung driver stalled the pool forever, a dead
+worker raised ``BrokenProcessPool`` and lost everything completed so
+far, and Ctrl-C tore the run down without a checkpoint.
+:func:`run_supervised` replaces that with a pool the campaign actually
+supervises:
+
+* **deadlines** — a task running past ``timeout`` seconds has its worker
+  killed and is retried on a fresh process;
+* **crash isolation** — a worker that dies (segfault, ``os._exit``,
+  OOM-kill) only costs the one attempt it was running;
+* **retries** — failed attempts are re-dispatched up to ``retries``
+  times behind a *deterministic* capped-exponential backoff
+  (:func:`backoff_schedule`; no jitter, so campaign reports stay
+  byte-identical run to run);
+* **structured failure** — a task that exhausts its budget becomes a
+  :class:`TaskFailure` in the report instead of aborting the campaign;
+* **graceful shutdown** — SIGINT/SIGTERM stop dispatch, drain in-flight
+  tasks for a grace period (each completion still reaches ``on_result``,
+  i.e. the checkpoint), then terminate workers and return a report with
+  ``interrupted=True``.
+
+Results stream to the caller through ``on_result`` as they land — that
+callback is where the campaign engines append to their checkpoints, so
+nothing completed is ever lost to a later fault.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import signal
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.runtime.chaos import ChaosPlan
+
+__all__ = [
+    "DEFAULT_RETRIES",
+    "DEFAULT_GRACE_S",
+    "TaskFailure",
+    "SupervisorReport",
+    "backoff_schedule",
+    "run_supervised",
+]
+
+DEFAULT_RETRIES = 2
+DEFAULT_GRACE_S = 5.0
+
+_BACKOFF_BASE_S = 0.05
+_BACKOFF_CAP_S = 2.0
+_POLL_S = 0.05
+
+#: Failure kinds recorded in :class:`TaskFailure` entries.
+FAILURE_KINDS = ("error", "crash", "timeout", "invalid-result")
+
+
+def backoff_schedule(
+    retries: int, *, base: float = _BACKOFF_BASE_S, cap: float = _BACKOFF_CAP_S
+) -> tuple[float, ...]:
+    """Delay before retry attempt ``i`` (0-based): ``min(cap, base * 2**i)``.
+
+    Deterministic by design — no jitter — so two runs of the same
+    campaign retry on the same schedule and their artifacts can be
+    compared byte-for-byte.
+    """
+    return tuple(min(cap, base * (2.0 ** attempt)) for attempt in range(max(0, retries)))
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One task that exhausted its retry budget; a manifest entry, not an abort."""
+
+    task: Any       # task id: experiment name (str) or fuzz task index (int)
+    kind: str       # one of FAILURE_KINDS
+    attempts: int   # total attempts made (1 + retries consumed)
+    message: str    # last attempt's diagnosis (deterministic: no pids/timestamps)
+
+    def to_dict(self) -> dict:
+        return {
+            "task": self.task,
+            "kind": self.kind,
+            "attempts": self.attempts,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TaskFailure":
+        return cls(
+            task=data["task"],
+            kind=str(data["kind"]),
+            attempts=int(data["attempts"]),
+            message=str(data["message"]),
+        )
+
+
+@dataclass
+class SupervisorReport:
+    """Outcome of one supervised run: results keyed by task id, plus telemetry."""
+
+    results: dict = field(default_factory=dict)
+    failures: list = field(default_factory=list)
+    interrupted: bool = False
+    retried: int = 0
+
+
+def _worker_main(worker, chaos_spec, chaos_dir, inbox, outbox) -> None:
+    """Worker process loop: pull a task, run it, report — never die quietly.
+
+    SIGINT is ignored (a terminal Ctrl-C reaches the whole foreground
+    process group; shutdown is the supervisor's job) and SIGTERM is reset
+    to its default so the supervisor's ``terminate()`` actually kills us
+    instead of re-raising the parent's inherited handler.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    plan = ChaosPlan(chaos_spec, chaos_dir) if chaos_spec else None
+    while True:
+        item = inbox.get()
+        if item is None:
+            return
+        task_id, payload = item
+        try:
+            if plan is not None:
+                plan.before_task(task_id)
+            result = worker(payload)
+            if plan is not None:
+                result = plan.after_task(task_id, result)
+            outbox.put(("ok", task_id, result))
+        except BaseException as exc:  # the supervisor owns retry policy
+            outbox.put(("error", task_id, f"{type(exc).__name__}: {exc}"))
+
+
+class _Worker:
+    """One supervised pool process plus its dispatch bookkeeping."""
+
+    def __init__(self, ctx, worker, chaos, outbox) -> None:
+        self.inbox = ctx.SimpleQueue()
+        spec = chaos.spec if chaos is not None else ""
+        state = chaos.state_dir if chaos is not None else ""
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(worker, spec, state, self.inbox, outbox),
+            daemon=True,
+        )
+        self.process.start()
+        self.task_id: Any = None
+        self.deadline: float | None = None
+
+    @property
+    def busy(self) -> bool:
+        return self.task_id is not None
+
+    def dispatch(self, task_id: Any, payload: Any, timeout: float | None) -> None:
+        self.task_id = task_id
+        self.deadline = (time.monotonic() + timeout) if timeout else None
+        self.inbox.put((task_id, payload))
+
+    def clear(self) -> None:
+        self.task_id = None
+        self.deadline = None
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            self.process.kill()
+        self.process.join(timeout=5.0)
+
+
+@contextmanager
+def _sigterm_as_interrupt() -> Iterator[None]:
+    """Deliver SIGTERM as KeyboardInterrupt for the duration (main thread only)."""
+
+    def handler(signum, frame):  # noqa: ARG001 - signal handler signature
+        raise KeyboardInterrupt
+
+    try:
+        previous = signal.signal(signal.SIGTERM, handler)
+    except ValueError:  # not the main thread; SIGTERM keeps its disposition
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
+def run_supervised(
+    tasks: Sequence[tuple[Any, Any]],
+    worker: Callable[[Any], Any],
+    *,
+    jobs: int = 1,
+    timeout: float | None = None,
+    retries: int = DEFAULT_RETRIES,
+    chaos: ChaosPlan | None = None,
+    validate: Callable[[Any], Any] | None = None,
+    on_result: Callable[[Any, Any], None] | None = None,
+    progress: Callable[[str], None] | None = None,
+    grace_s: float = DEFAULT_GRACE_S,
+) -> SupervisorReport:
+    """Run ``(task_id, payload)`` pairs through ``worker`` under supervision.
+
+    ``worker`` must be a module-level callable (it crosses the process
+    boundary); ``validate`` (if given) checks/parses each raw result and
+    its return value is what lands in ``report.results`` and
+    ``on_result`` — a validation error counts as a failed attempt
+    (``invalid-result``) and is retried like any other.
+
+    Runs inline (no subprocesses) when ``jobs <= 1`` and neither a
+    deadline nor a chaos plan demands real process isolation; inline
+    mode still retries errors but cannot survive hangs or hard crashes.
+    """
+    say = progress or (lambda line: None)
+    report = SupervisorReport()
+    items = [(task_id, payload) for task_id, payload in tasks]
+    if not items:
+        return report
+    schedule = backoff_schedule(retries)
+    if jobs <= 1 and timeout is None and chaos is None:
+        _run_inline(items, worker, retries, schedule, validate, on_result, say, report)
+    else:
+        _run_pool(
+            items, worker, jobs=jobs, timeout=timeout, retries=retries,
+            schedule=schedule, chaos=chaos, validate=validate,
+            on_result=on_result, say=say, report=report, grace_s=grace_s,
+        )
+    return report
+
+
+def _run_inline(items, worker, retries, schedule, validate, on_result, say, report):
+    for task_id, payload in items:
+        attempts = 0
+        while True:
+            attempts += 1
+            kind = "error"
+            try:
+                value = worker(payload)
+                kind = "invalid-result"
+                value = validate(value) if validate is not None else value
+            except KeyboardInterrupt:
+                report.interrupted = True
+                return
+            except Exception as exc:
+                message = f"{type(exc).__name__}: {exc}"
+                if attempts > retries:
+                    report.failures.append(
+                        TaskFailure(task_id, kind, attempts, message)
+                    )
+                    say(f"task {task_id}: failed ({kind}) after "
+                        f"{attempts} attempt(s): {message}")
+                    break
+                delay = schedule[attempts - 1]
+                report.retried += 1
+                say(f"task {task_id}: attempt {attempts} failed ({kind}); "
+                    f"retrying in {delay:.2f}s")
+                time.sleep(delay)
+                continue
+            report.results[task_id] = value
+            if on_result is not None:
+                on_result(task_id, value)
+            break
+
+
+def _run_pool(
+    items, worker, *, jobs, timeout, retries, schedule, chaos, validate,
+    on_result, say, report, grace_s,
+):
+    ctx = mp.get_context()
+    outbox = ctx.Queue()
+    payloads = dict(items)
+    count = max(1, min(jobs, len(items)))
+
+    def spawn() -> _Worker:
+        return _Worker(ctx, worker, chaos, outbox)
+
+    workers: list[_Worker] = [spawn() for _ in range(count)]
+    # (task_id, attempts_so_far, ready_at): attempts_so_far counts dispatches
+    # already consumed; ready_at gates retry dispatch on the backoff schedule.
+    pending: list[tuple[Any, int, float]] = [(task_id, 0, 0.0) for task_id, _ in items]
+    done: set = set()
+
+    def handle_attempt_failure(task_id: Any, attempts: int, kind: str, message: str):
+        if attempts > retries:
+            failure = TaskFailure(task_id, kind, attempts, message)
+            report.failures.append(failure)
+            done.add(task_id)
+            say(f"task {task_id}: failed ({kind}) after "
+                f"{attempts} attempt(s): {message}")
+        else:
+            delay = schedule[attempts - 1]
+            report.retried += 1
+            pending.append((task_id, attempts, time.monotonic() + delay))
+            say(f"task {task_id}: attempt {attempts} failed ({kind}); "
+                f"retrying in {delay:.2f}s")
+
+    def dispatch_ready() -> None:
+        now = time.monotonic()
+        for w in workers:
+            if w.busy or not w.process.is_alive():
+                continue
+            slot = next(
+                (i for i, (tid, _, ready) in enumerate(pending)
+                 if ready <= now and tid not in done),
+                None,
+            )
+            if slot is None:
+                break
+            task_id, attempts, _ = pending.pop(slot)
+            w.dispatch(task_id, payloads[task_id], timeout)
+            # remember how many attempts this dispatch represents
+            attempt_counts[task_id] = attempts + 1
+
+    attempt_counts: dict[Any, int] = {}
+
+    def owner_of(task_id: Any) -> _Worker | None:
+        return next((w for w in workers if w.task_id == task_id), None)
+
+    def drain_results(block: bool, honor_chaos: bool) -> None:
+        first = True
+        while True:
+            try:
+                message = outbox.get(timeout=_POLL_S) if (block and first) \
+                    else outbox.get_nowait()
+            except queue_mod.Empty:
+                return
+            first = False
+            status, task_id, value = message
+            w = owner_of(task_id)
+            if w is not None:
+                w.clear()
+            if task_id in done or task_id in report.results:
+                continue  # stale duplicate from a worker we already wrote off
+            attempts = attempt_counts.get(task_id, 1)
+            if status == "ok":
+                try:
+                    parsed = validate(value) if validate is not None else value
+                except Exception as exc:
+                    handle_attempt_failure(
+                        task_id, attempts, "invalid-result",
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                    continue
+                report.results[task_id] = parsed
+                done.add(task_id)
+                if on_result is not None:
+                    on_result(task_id, parsed)
+                if honor_chaos and chaos is not None and chaos.wants_interrupt(task_id):
+                    say(f"chaos: injecting interrupt after task {task_id}")
+                    raise KeyboardInterrupt
+            else:
+                handle_attempt_failure(task_id, attempts, "error", str(value))
+
+    def check_deadlines() -> None:
+        now = time.monotonic()
+        for i, w in enumerate(workers):
+            if w.busy and w.deadline is not None and now > w.deadline:
+                task_id = w.task_id
+                say(f"task {task_id}: exceeded {timeout:.1f}s deadline; "
+                    f"killing worker pid {w.process.pid} and respawning")
+                w.kill()
+                w.clear()
+                workers[i] = spawn()
+                handle_attempt_failure(
+                    task_id, attempt_counts.get(task_id, 1), "timeout",
+                    f"exceeded {timeout:.1f}s deadline",
+                )
+
+    def check_crashes() -> None:
+        for i, w in enumerate(workers):
+            if not w.process.is_alive():
+                task_id, code = w.task_id, w.process.exitcode
+                w.kill()  # reap
+                w.clear()
+                workers[i] = spawn()
+                if task_id is not None:
+                    say(f"worker died (exit {code}) running task {task_id}; "
+                        f"respawning")
+                    handle_attempt_failure(
+                        task_id, attempt_counts.get(task_id, 1), "crash",
+                        f"worker died with exit code {code}",
+                    )
+
+    try:
+        with _sigterm_as_interrupt():
+            try:
+                while (any(tid not in done for tid, _, _ in pending)
+                       or any(w.busy for w in workers)):
+                    dispatch_ready()
+                    drain_results(block=True, honor_chaos=True)
+                    check_deadlines()
+                    check_crashes()
+            except KeyboardInterrupt:
+                report.interrupted = True
+                in_flight = sum(1 for w in workers if w.busy)
+                say(f"interrupted: draining {in_flight} in-flight task(s) "
+                    f"for up to {grace_s:.0f}s")
+                _graceful_drain(workers, drain_results, grace_s, say)
+    finally:
+        _shutdown(workers)
+
+
+def _graceful_drain(workers, drain_results, grace_s, say) -> None:
+    """Collect what the busy workers can still finish inside the grace period."""
+    deadline = time.monotonic() + grace_s
+    try:
+        while any(w.busy for w in workers) and time.monotonic() < deadline:
+            drain_results(True, False)
+            for w in workers:  # a crash during the drain just ends that task
+                if w.busy and not w.process.is_alive():
+                    w.clear()
+    except KeyboardInterrupt:
+        say("second interrupt: abandoning the drain")
+
+
+def _shutdown(workers: list[_Worker]) -> None:
+    """Stop every worker: sentinel for the idle, terminate for the stubborn."""
+    for w in workers:
+        if w.process.is_alive() and not w.busy:
+            try:
+                w.inbox.put(None)
+            except (OSError, ValueError):
+                pass
+    for w in workers:
+        w.process.join(timeout=1.0)
+    for w in workers:
+        if w.process.is_alive():
+            w.process.terminate()
+            w.process.join(timeout=1.0)
+        if w.process.is_alive():
+            w.kill()

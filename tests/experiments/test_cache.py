@@ -3,6 +3,7 @@
 from repro.core.config import default_model, get_model
 from repro.experiments.base import ExperimentResult
 from repro.experiments.cache import ResultCache, cache_key
+from repro.runtime.quarantine import QUARANTINE_DIR
 
 
 def small_result(experiment_id: str = "demo") -> ExperimentResult:
@@ -72,14 +73,21 @@ class TestResultCache:
         stored = json.loads(cache._entry(key).read_text())
         assert stored["cache_hit"] is False
 
-    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+    def test_corrupt_entry_is_a_miss_and_quarantined(self, tmp_path):
         cache = ResultCache(tmp_path / "c")
         key = cache_key("demo", 1)
         entry = cache._entry(key)
         entry.parent.mkdir(parents=True)
         entry.write_text("{broken")
         assert cache.get(key) is None
+        # Preserved for post-mortems, not deleted: moved to quarantine/
+        # with a reason sidecar, and counted.
         assert not entry.exists()
+        assert cache.quarantined == 1
+        saved = cache.root / QUARANTINE_DIR / entry.name
+        assert saved.read_text() == "{broken"
+        assert "JSON" in saved.with_name(saved.name + ".reason").read_text()
+        assert len(cache) == 0  # quarantined entries do not count as stored
 
     def test_len_and_clear(self, tmp_path):
         cache = ResultCache(tmp_path / "c")

@@ -17,6 +17,7 @@ from repro.fuzz.findings import (
     read_findings,
     write_findings,
 )
+from repro.runtime.quarantine import QUARANTINE_DIR
 
 
 class TestCorpus:
@@ -50,13 +51,21 @@ class TestCorpus:
         assert len(corpus) == 1
         assert corpus.entries() == [entry]
 
-    def test_corrupt_files_skipped(self, tmp_path):
+    def test_corrupt_files_skipped_and_quarantined(self, tmp_path):
         corpus = Corpus(tmp_path / "corpus")
         corpus.add(CorpusEntry("fuzz-v1", 1, 10))
         junk = tmp_path / "corpus" / "zz"
         junk.mkdir(parents=True)
         (junk / "zzzz.json").write_text("{not json", encoding="utf-8")
         assert len(corpus.entries()) == 1
+        # The corrupt file is preserved under quarantine/ with a reason
+        # sidecar and counted — and no longer shadows the healthy corpus.
+        assert corpus.quarantined == 1
+        saved = corpus.root / QUARANTINE_DIR / "zzzz.json"
+        assert saved.read_text() == "{not json"
+        assert saved.with_name(saved.name + ".reason").exists()
+        assert len(corpus) == 1
+        assert len(corpus.entries()) == 1  # idempotent on a clean corpus
 
     def test_replay_order_regressions_first(self, tmp_path):
         corpus = Corpus(tmp_path / "corpus")

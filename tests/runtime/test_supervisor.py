@@ -1,0 +1,212 @@
+"""The supervised pool: deadlines, retries, crash isolation, drains.
+
+Worker callables live at module level because pool mode ships them to
+subprocesses.  Cross-attempt state (fail once, then succeed) goes
+through marker files, since retried attempts may run in fresh processes.
+"""
+
+import signal
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runtime.chaos import CORRUPT_RESULT, ChaosPlan
+from repro.runtime.supervisor import (
+    TaskFailure,
+    backoff_schedule,
+    run_supervised,
+)
+
+
+def _double(payload):
+    return payload * 2
+
+
+def _boom(payload):
+    raise ValueError(f"boom on {payload}")
+
+
+def _flaky(payload):
+    """Fails until its marker file exists, then succeeds."""
+    marker = Path(payload["marker"])
+    if not marker.exists():
+        marker.write_text("tried")
+        raise ValueError("first attempt fails")
+    return "recovered"
+
+
+def _sleeper(payload):
+    time.sleep(payload["sleep"])
+    return "done"
+
+
+def _interrupting(payload):
+    raise KeyboardInterrupt
+
+
+class TestBackoffSchedule:
+    def test_deterministic_capped_exponential(self):
+        assert backoff_schedule(4, base=0.1, cap=0.5) == (0.1, 0.2, 0.4, 0.5)
+        assert backoff_schedule(4, base=0.1, cap=0.5) == backoff_schedule(
+            4, base=0.1, cap=0.5
+        )
+
+    def test_zero_retries_empty(self):
+        assert backoff_schedule(0) == ()
+
+
+class TestInline:
+    def test_results_and_order_independent_ids(self):
+        report = run_supervised([(5, 1), (9, 2)], _double, jobs=1)
+        assert report.results == {5: 2, 9: 4}
+        assert report.failures == [] and not report.interrupted
+
+    def test_retry_then_success(self, tmp_path):
+        payload = {"marker": str(tmp_path / "m")}
+        report = run_supervised([("t", payload)], _flaky, jobs=1, retries=2)
+        assert report.results == {"t": "recovered"}
+        assert report.retried == 1
+
+    def test_exhausted_retries_become_structured_failure(self):
+        events = []
+        report = run_supervised(
+            [("bad", 0)], _boom, jobs=1, retries=1, progress=events.append
+        )
+        assert report.results == {}
+        (failure,) = report.failures
+        assert failure == TaskFailure("bad", "error", 2, "ValueError: boom on 0")
+        assert any("failed" in line for line in events)
+
+    def test_validation_error_is_invalid_result_kind(self):
+        def validate(value):
+            raise KeyError("schema")
+
+        report = run_supervised([(0, 1)], _double, jobs=1, retries=0,
+                                validate=validate)
+        assert report.failures[0].kind == "invalid-result"
+
+    def test_keyboard_interrupt_stops_and_flags(self):
+        seen = []
+        report = run_supervised(
+            [(0, 1), (1, 2), (2, 3)], _interrupting, jobs=1,
+            on_result=lambda tid, val: seen.append(tid),
+        )
+        assert report.interrupted is True
+        assert seen == []
+
+    def test_on_result_streams_completions(self):
+        seen = []
+        run_supervised([(0, 1), (1, 2)], _double, jobs=1,
+                       on_result=lambda tid, val: seen.append((tid, val)))
+        assert seen == [(0, 2), (1, 4)]
+
+
+class TestPool:
+    def test_parallel_results_complete(self):
+        tasks = [(i, i) for i in range(6)]
+        report = run_supervised(tasks, _double, jobs=3)
+        assert report.results == {i: 2 * i for i in range(6)}
+
+    def test_hang_is_killed_at_deadline_and_failed(self):
+        report = run_supervised(
+            [(0, {"sleep": 30.0})], _sleeper, jobs=1, timeout=0.5, retries=0
+        )
+        (failure,) = report.failures
+        assert failure.kind == "timeout"
+        assert "deadline" in failure.message
+
+    def test_hang_retry_can_succeed(self, tmp_path):
+        # first attempt fails fast, second succeeds: proves the respawned
+        # worker picks the retry up (marker crosses the process boundary).
+        payload = {"marker": str(tmp_path / "m")}
+        report = run_supervised([("t", payload)], _flaky, jobs=2, timeout=5.0,
+                                retries=2)
+        assert report.results == {"t": "recovered"}
+
+    def test_chaos_crash_is_survived(self):
+        plan = ChaosPlan.from_spec("crash@1")
+        try:
+            report = run_supervised(
+                [(0, 10), (1, 11), (2, 12)], _double, jobs=2, retries=2,
+                chaos=plan,
+            )
+        finally:
+            plan.cleanup()
+        assert report.results == {0: 20, 1: 22, 2: 24}
+        assert report.retried >= 1 and report.failures == []
+
+    def test_chaos_crash_without_retries_is_structured_failure(self):
+        plan = ChaosPlan.from_spec("crash@0")
+        try:
+            report = run_supervised([(0, 10), (1, 11)], _double, jobs=2,
+                                    retries=0, chaos=plan)
+        finally:
+            plan.cleanup()
+        assert report.results == {1: 22}
+        (failure,) = report.failures
+        assert failure.task == 0 and failure.kind == "crash"
+
+    def test_chaos_corrupt_result_retried_to_success(self):
+        def validate(value):
+            if value == CORRUPT_RESULT:
+                raise ValueError("unparseable result")
+            return value
+
+        plan = ChaosPlan.from_spec("corrupt@0")
+        try:
+            report = run_supervised([(0, 21)], _double, jobs=1, retries=1,
+                                    chaos=plan, validate=validate)
+        finally:
+            plan.cleanup()
+        assert report.results == {0: 42}
+        assert report.retried == 1
+
+    def test_chaos_interrupt_flags_report_and_skips_pending(self):
+        plan = ChaosPlan.from_spec("interrupt@0")
+        try:
+            report = run_supervised([(0, 1), (1, 2)], _double, jobs=1,
+                                    chaos=plan, grace_s=0.5)
+        finally:
+            plan.cleanup()
+        assert report.interrupted is True
+        assert 0 in report.results
+
+    def test_sigterm_drains_and_interrupts(self):
+        timer = threading.Timer(0.6, signal.raise_signal, args=(signal.SIGTERM,))
+        timer.start()
+        try:
+            # timeout forces pool mode, where SIGTERM is delivered as an
+            # interrupt; it is far longer than the test needs.
+            report = run_supervised(
+                [(0, {"sleep": 30.0})], _sleeper, jobs=1, timeout=60.0,
+                retries=0, grace_s=0.3,
+            )
+        finally:
+            timer.cancel()
+        assert report.interrupted is True
+        assert report.results == {}
+
+
+class TestChaosPlan:
+    def test_bad_token_rejected(self):
+        with pytest.raises(ConfigError):
+            ChaosPlan.from_spec("explode@3")
+        with pytest.raises(ConfigError):
+            ChaosPlan.from_spec("crash3")
+        with pytest.raises(ConfigError):
+            ChaosPlan.from_spec("   ")
+
+    def test_each_fault_fires_once(self, tmp_path):
+        plan = ChaosPlan("corrupt@7", tmp_path)
+        assert plan.after_task(7, "real") == CORRUPT_RESULT
+        assert plan.after_task(7, "real") == "real"
+        assert plan.after_task(8, "real") == "real"
+
+    def test_interrupt_claim_is_once(self, tmp_path):
+        plan = ChaosPlan("interrupt@x", tmp_path)
+        assert plan.wants_interrupt("x") is True
+        assert plan.wants_interrupt("x") is False
+        assert plan.wants_interrupt("y") is False
