@@ -7,7 +7,7 @@ RESULTS ?= results
 
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test experiments-quick experiments-check experiments-all regen-experiments-md fuzz-smoke chaos-smoke clean-cache
+.PHONY: test experiments-quick experiments-check experiments-all regen-experiments-md fuzz-smoke chaos-smoke trace-smoke clean-cache
 
 test:
 	$(PY) -m pytest -x -q
@@ -68,6 +68,24 @@ chaos-smoke:
 	cmp $(RESULTS)-chaos/baseline/campaign.json $(RESULTS)-chaos/resumed/campaign.json
 	rm -rf $(RESULTS)-chaos
 	@echo "chaos-smoke: crash/hang/corruption absorbed; interrupt+resume converged"
+
+## Telemetry determinism + overhead gate (docs/observability.md): the
+## same seeded targets must record byte-identical traces twice serially
+## AND across --jobs 1 / --jobs $(JOBS); then the overhead guard proves
+## tracing-disabled runs stay in budget while instrumentation stays live.
+TRACE_TARGETS = stl case:fuzz-v1:5:12 fig4
+trace-smoke:
+	rm -rf $(RESULTS)-trace
+	$(PY) -m repro.telemetry.cli record $(TRACE_TARGETS) --jobs 1       --out $(RESULTS)-trace/serial
+	$(PY) -m repro.telemetry.cli record $(TRACE_TARGETS) --jobs 1       --out $(RESULTS)-trace/again
+	$(PY) -m repro.telemetry.cli record $(TRACE_TARGETS) --jobs $(JOBS) --out $(RESULTS)-trace/parallel
+	for f in $(RESULTS)-trace/serial/*.trace.jsonl; do \
+		cmp "$$f" "$(RESULTS)-trace/again/$$(basename $$f)" || exit 1; \
+		cmp "$$f" "$(RESULTS)-trace/parallel/$$(basename $$f)" || exit 1; \
+	done
+	$(PY) -m repro.telemetry.overhead
+	rm -rf $(RESULTS)-trace
+	@echo "trace-smoke: traces deterministic across reruns and job counts; overhead in budget"
 
 clean-cache:
 	rm -rf .repro-cache .repro-corpus

@@ -31,6 +31,7 @@ from repro.core.state_machine import (
     predict as predict_state,
     transition,
 )
+from repro.telemetry.events import PredictorTransitionEvent
 
 __all__ = ["AccessResult", "PredictorUnit"]
 
@@ -68,6 +69,13 @@ class PredictorUnit:
         self.exec_type_counts: Counter[ExecType] = Counter()
         self.context_switches = 0
         self.suspends = 0
+        #: Telemetry attachment (repro.telemetry): the pipeline installs a
+        #: tracer here when recording and refreshes ``trace_cycle`` before
+        #: each access so transition events carry pipeline time.  ``None``
+        #: means disabled — access() pays one identity test, nothing more.
+        self.trace = None
+        self.trace_thread = 0
+        self.trace_cycle = 0
 
     # ------------------------------------------------------------------
     # State assembly and prediction
@@ -109,6 +117,11 @@ class PredictorUnit:
             # Block state and learns nothing (Section VI-A).
             exec_type = ExecType.A if aliasing else ExecType.E
             self.exec_type_counts[exec_type] += 1
+            if self.trace is not None:
+                self._emit_transition(
+                    store_hash, load_hash, aliasing, exec_type,
+                    classify_state(before), StateName.BLOCK, before, before,
+                )
             return AccessResult(
                 exec_type=exec_type,
                 prediction=_SSBD_BLOCK,
@@ -129,12 +142,44 @@ class PredictorUnit:
             )
         self.ssbp.update(load_hash, after.c3, after.c4, allocate=allocate)
         self.exec_type_counts[result.exec_type] += 1
+        if self.trace is not None:
+            self._emit_transition(
+                store_hash, load_hash, aliasing, result.exec_type,
+                classify_state(before), result.state_name, before, after,
+            )
         return AccessResult(
             exec_type=result.exec_type,
             prediction=pred,
             state_name=result.state_name,
             before=before,
             after=after,
+        )
+
+    def _emit_transition(
+        self,
+        store_hash: int,
+        load_hash: int,
+        aliasing: bool,
+        exec_type: ExecType,
+        state_before: StateName,
+        state_after: StateName,
+        before: CounterState,
+        after: CounterState,
+    ) -> None:
+        """Emit one TABLE I edge as observed live (cold path)."""
+        self.trace.emit(
+            PredictorTransitionEvent(
+                cycle=self.trace_cycle,
+                thread=self.trace_thread,
+                store_hash=store_hash,
+                load_hash=load_hash,
+                aliasing=aliasing,
+                exec_type=exec_type.name,
+                state_before=state_before.value,
+                state_after=state_after.value,
+                counters_before=before.as_tuple(),
+                counters_after=after.as_tuple(),
+            )
         )
 
     # ------------------------------------------------------------------

@@ -36,6 +36,8 @@ __all__ = [
     "Pad",
     "Halt",
     "Program",
+    "instruction_from_repr",
+    "instructions_from_reprs",
 ]
 
 
@@ -163,6 +165,42 @@ class Label(Instruction):
 @dataclass(frozen=True)
 class Halt(Instruction):
     """Stop execution (end of the measured routine)."""
+
+
+def _instruction_namespace() -> dict[str, type]:
+    return {
+        cls.__name__: cls
+        for cls in (
+            Instruction, Pad, MovImm, Mov, Alu, AluImm, Imul, ImulImm,
+            Load, Store, Clflush, Mfence, Rdpru, Jz, Label, Halt,
+        )
+    }
+
+
+def instruction_from_repr(text: str) -> Instruction:
+    """Rebuild one instruction from its dataclass ``repr``.
+
+    Findings artifacts store minimized reproducers as instruction reprs
+    (:func:`repro.fuzz.shrink.shrink_report`); this is the inverse, used
+    to replay a shrunk program — e.g. ``repro-fuzz --trace-findings``.
+    Evaluation is restricted to the instruction classes themselves (no
+    builtins), so only literal dataclass constructions parse.  Raises
+    :class:`repro.errors.InvalidInstruction` on anything else.
+    """
+    try:
+        value = eval(text, {"__builtins__": {}}, _instruction_namespace())
+    except Exception as exc:
+        raise InvalidInstruction(f"unparseable instruction repr {text!r}: {exc}") from exc
+    if not isinstance(value, Instruction):
+        raise InvalidInstruction(
+            f"repr {text!r} is not an instruction (got {type(value).__name__})"
+        )
+    return value
+
+
+def instructions_from_reprs(reprs: list[str]) -> list[Instruction]:
+    """Rebuild a whole program from a list of instruction reprs."""
+    return [instruction_from_repr(text) for text in reprs]
 
 
 @dataclass

@@ -51,6 +51,16 @@ class Machine:
             Pipeline(self.core, thread, self.kernel) for thread in self.core.threads
         ]
 
+    def attach_tracer(self, tracer) -> None:
+        """Route every pipeline's trace events to ``tracer``.
+
+        Pipelines created while a tracer is active pick it up on their
+        own; this hook covers the opposite order (machine built first,
+        recording started later).  Pass ``None`` to detach.
+        """
+        for pipeline in self._pipelines:
+            pipeline.attach_tracer(tracer)
+
     # ------------------------------------------------------------------
     # Program management
     # ------------------------------------------------------------------

@@ -27,6 +27,7 @@ rollback machinery (used by the Section IV-D experiments).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.exec_types import ExecType
 from repro.core.hashfn import ipa_hash
@@ -61,6 +62,20 @@ from repro.mem.store_queue import StoreEntry
 from repro.osm.address_space import Perm
 from repro.osm.kernel import Kernel
 from repro.osm.process import Process
+from repro.telemetry import current_tracer, registry
+from repro.telemetry.events import (
+    BranchPredictEvent,
+    BranchResolveEvent,
+    CommitEvent,
+    DispatchEvent,
+    FaultEvent,
+    RestoreEvent,
+    SquashEvent,
+    StldBypassEvent,
+    StldForwardEvent,
+    StldPredictEvent,
+    StldStallEvent,
+)
 
 __all__ = ["StldEvent", "RunResult", "Pipeline", "FAULT_WINDOW", "CHAOS_HOOKS"]
 
@@ -134,6 +149,16 @@ class StldEvent:
     load_ipa: int
     cycle: int
 
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical JSON form, shared by experiment drivers and telemetry
+        export (the one serialization — drivers must not hand-roll it)."""
+        return {
+            "exec_type": self.exec_type.name,
+            "store_ipa": self.store_ipa,
+            "load_ipa": self.load_ipa,
+            "cycle": self.cycle,
+        }
+
 
 @dataclass
 class RunResult:
@@ -146,6 +171,27 @@ class RunResult:
     fault: SegmentationFault | None = None
     retired: int = 0
 
+    def exec_types(self) -> list[ExecType]:
+        """The A–H classification of each store-load event, in order."""
+        return [event.exec_type for event in self.events]
+
+    def has_exec_type(self, exec_type: ExecType) -> bool:
+        """Whether any store-load event classified as ``exec_type``."""
+        return any(event.exec_type is exec_type for event in self.events)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical JSON form (registers, timing, events, fault)."""
+        return {
+            "regs": dict(self.regs),
+            "cycles": self.cycles,
+            "events": [event.to_dict() for event in self.events],
+            "rollbacks": self.rollbacks,
+            "fault": None
+            if self.fault is None
+            else {"address": self.fault.address, "access": self.fault.access},
+            "retired": self.retired,
+        }
+
 
 class Pipeline:
     """Executes programs of one process on one hardware thread."""
@@ -157,6 +203,26 @@ class Pipeline:
         self.lat = core.model.latency
         #: 2-bit branch direction counters, keyed by branch IVA.
         self.branch_counters: dict[int, int] = {}
+        #: Active tracer at construction time (None = telemetry off).  A
+        #: later activation can be picked up via :meth:`attach_tracer`.
+        self.trace = current_tracer()
+        if self.trace is not None:
+            self.attach_tracer(self.trace)
+        # Run-level metrics: instruments are resolved once here so the
+        # per-run cost is four integer adds and one histogram observe.
+        metrics = registry()
+        self._m_runs = metrics.counter("pipeline.runs")
+        self._m_retired = metrics.counter("pipeline.retired")
+        self._m_cycles = metrics.counter("pipeline.cycles")
+        self._m_rollbacks = metrics.counter("pipeline.rollbacks")
+        self._m_run_cycles = metrics.histogram("pipeline.run_cycles")
+
+    def attach_tracer(self, tracer) -> None:
+        """Route this pipeline's (and its predictor unit's) events to
+        ``tracer``; ``None`` detaches."""
+        self.trace = tracer
+        self.thread.unit.trace = tracer
+        self.thread.unit.trace_thread = self.thread.thread_id
 
     def run(
         self,
@@ -175,6 +241,11 @@ class Pipeline:
         state = _ExecState(self, process, program, dict(regs or {}))
         result = state.execute(max_steps)
         self.thread.advance(result.cycles)
+        self._m_runs.inc()
+        self._m_retired.inc(result.retired)
+        self._m_cycles.inc(result.cycles)
+        self._m_rollbacks.inc(result.rollbacks)
+        self._m_run_cycles.observe(result.cycles)
         return result
 
     def begin(
@@ -222,6 +293,8 @@ class _ExecState:
         self.result = RunResult(regs=self.regs, cycles=0)
         self.window: _TransientWindow | None = None
         self.halted = False
+        self.trace = pipeline.trace
+        self.tid = pipeline.thread.thread_id
 
     # ------------------------------------------------------------------
     # Small helpers
@@ -392,6 +465,15 @@ class _ExecState:
             return  # zero-size, zero-time
         self.thread.pmc.add(PmcEvent.ITLB_HIT_4K)
         d = self.dispatch
+        if self.trace is not None:
+            self.trace.emit(
+                DispatchEvent(
+                    cycle=d,
+                    thread=self.tid,
+                    index=self.index,
+                    op=type(instruction).__name__,
+                )
+            )
         if isinstance(instruction, Halt):
             if self.window is not None:
                 # A wrong path ran into Halt: fast-forward to the window's
@@ -399,6 +481,8 @@ class _ExecState:
                 self.dispatch = max(self.dispatch, self.window.stop)
                 return
             self.retired += 1
+            if self.trace is not None:
+                self._trace_commit(self.index, instruction, d)
             if not self._quiesce():
                 self.halted = True
             return
@@ -411,6 +495,8 @@ class _ExecState:
             if self.index != before:
                 return  # a squash rewound us; the fence will re-execute
             self.retired += 1
+            if self.trace is not None:
+                self._trace_commit(self.index, instruction, d)
             self.index += 1
             self.dispatch = max(self.dispatch, d + 1)
             return
@@ -444,8 +530,21 @@ class _ExecState:
         else:
             raise InvalidInstruction(f"unhandled instruction {instruction!r}")
         self.retired += 1
+        if self.trace is not None:
+            self._trace_commit(self.index, instruction, d)
         self.index += 1
         self.dispatch = d + 1
+
+    def _trace_commit(self, index: int, instruction, cycle: int) -> None:
+        self.trace.emit(
+            CommitEvent(
+                cycle=cycle,
+                thread=self.tid,
+                index=index,
+                op=type(instruction).__name__,
+                retired=self.retired,
+            )
+        )
 
     def _exec_alu(self, instruction, d: int) -> None:
         if isinstance(instruction, Alu):
@@ -537,6 +636,20 @@ class _ExecState:
         prediction = self.thread.unit.predict(store_hash, load_hash)
         truth = pending.overlaps(paddr, instruction.width)
         covers = pending.covers(paddr, instruction.width)
+        if self.trace is not None:
+            self.trace.emit(
+                StldPredictEvent(
+                    cycle=addr_ready,
+                    thread=self.tid,
+                    index=self.index,
+                    store_ipa=pending.store_ipa,
+                    load_ipa=load_ipa,
+                    aliasing=prediction.aliasing,
+                    psf_forward=prediction.psf_forward,
+                    sticky=prediction.sticky,
+                    covers=covers,
+                )
+            )
 
         # Other unresolved older stores the load will read around: if any
         # aliases, the bypass/forward result is wrong no matter what the
@@ -562,6 +675,16 @@ class _ExecState:
             value = self._forward_value(pending, instruction.width)
             complete = max(addr_ready, pending.data_ready) + self.lat.sq_forward
             self.thread.pmc.add(PmcEvent.STLF)
+            if self.trace is not None:
+                self.trace.emit(
+                    StldForwardEvent(
+                        cycle=complete,
+                        thread=self.tid,
+                        index=self.index,
+                        value=value,
+                        correct=covers,
+                    )
+                )
         elif prediction.aliasing:
             # Stall until address generation of *every* older unresolved
             # store (A/B/E/F): with PSF off the load cannot disambiguate
@@ -598,6 +721,15 @@ class _ExecState:
                     load_seq, paddr, instruction.width, stall_until, False
                 )
                 complete = stall_until + latency + self.lat.post_stall_replay
+            if self.trace is not None:
+                self.trace.emit(
+                    StldStallEvent(
+                        cycle=stall_until,
+                        thread=self.tid,
+                        index=self.index,
+                        ready_cycle=complete,
+                    )
+                )
         else:
             # Speculative store bypass: stale read around the store (H/G).
             latency, _ = self.core.hierarchy.load(paddr)
@@ -605,6 +737,16 @@ class _ExecState:
                 load_seq, paddr, instruction.width, addr_ready, False
             )
             complete = addr_ready + latency
+            if self.trace is not None:
+                self.trace.emit(
+                    StldBypassEvent(
+                        cycle=complete,
+                        thread=self.tid,
+                        index=self.index,
+                        value=value,
+                        correct=not truth,
+                    )
+                )
 
         record = _SpecLoad(
             load_seq=load_seq,
@@ -677,6 +819,16 @@ class _ExecState:
             base_seq=self.seq,
             fault=fault,
         )
+        if self.trace is not None:
+            self.trace.emit(
+                FaultEvent(
+                    cycle=addr_ready,
+                    thread=self.tid,
+                    index=self.index,
+                    vaddr=fault.address,
+                    window_stop=self.window.stop,
+                )
+            )
         self._set_reg(instruction.dst, 0, addr_ready + self.lat.l1_hit)
 
     # ------------------------------------------------------------------
@@ -688,9 +840,31 @@ class _ExecState:
         predicted = self.pipe.predict_branch(iva)
         resolve = max(d, self._ready_of(instruction.cond)) + self.lat.alu
         self.pipe.train_branch(iva, taken)
+        if self.trace is not None:
+            self.trace.emit(
+                BranchPredictEvent(
+                    cycle=d,
+                    thread=self.tid,
+                    index=self.index,
+                    iva=iva,
+                    predicted_taken=predicted,
+                )
+            )
+            self.trace.emit(
+                BranchResolveEvent(
+                    cycle=resolve,
+                    thread=self.tid,
+                    index=self.index,
+                    iva=iva,
+                    taken=taken,
+                    mispredicted=predicted != taken,
+                )
+            )
         target = self.program.label_index(instruction.label)
         fallthrough = self.index + 1
         self.retired += 1
+        if self.trace is not None:
+            self._trace_commit(self.index, instruction, d)
         if predicted == taken or self.window is not None:
             # Correct prediction — or a nested mispredict inside an open
             # window (single-level wrong-path model): follow the truth.
@@ -726,6 +900,8 @@ class _ExecState:
     def _apply_predictor_update(
         self, entry: StoreEntry, record: _SpecLoad, now: int
     ) -> ExecType:
+        if self.trace is not None:
+            self.thread.unit.trace_cycle = now
         result = self.thread.unit.access(
             record.store_hash, record.load_hash, record.truth
         )
@@ -749,8 +925,20 @@ class _ExecState:
         self.dispatch = window.stop + self.lat.rollback
         self.result.rollbacks += 1
         self.thread.pmc.add(PmcEvent.ROLLBACK)
+        if self.trace is not None:
+            self.trace.emit(
+                SquashEvent(
+                    cycle=window.stop,
+                    thread=self.tid,
+                    reason="fault" if window.fault is not None else "branch",
+                    from_index=window.snapshot.index,
+                    penalty=self.lat.rollback,
+                )
+            )
         if window.fault is None:
             self.index = window.resume_index
+            if self.trace is not None:
+                self._trace_restore()
             return
         handler = window.fault and self.program._labels.get("fault_handler")
         if handler is None:
@@ -761,6 +949,8 @@ class _ExecState:
             self.halted = True
             raise window.fault
         self.index = handler
+        if self.trace is not None:
+            self._trace_restore()
 
     def _resolve_stores(self, now: int) -> bool:
         """Process stores whose address generation completed by ``now``.
@@ -811,5 +1001,26 @@ class _ExecState:
         self.dispatch = max(now, entry.addr_ready) + penalty
         self.result.rollbacks += 1
         self.thread.pmc.add(PmcEvent.ROLLBACK)
+        if self.trace is not None:
+            self.trace.emit(
+                SquashEvent(
+                    cycle=now,
+                    thread=self.tid,
+                    reason="memory",
+                    from_index=record.load_index,
+                    penalty=penalty,
+                )
+            )
+            self._trace_restore()
         # The store is resolved by now (addr_ready <= dispatch), so the
         # replayed load will not re-speculate against it.
+
+    def _trace_restore(self) -> None:
+        self.trace.emit(
+            RestoreEvent(
+                cycle=self.dispatch,
+                thread=self.tid,
+                index=self.index,
+                retired=self.retired,
+            )
+        )

@@ -63,6 +63,11 @@ class ExperimentResult:
     wall_time_s: float | None = None
     worker: str | None = None
     cache_hit: bool = False
+    #: Per-task metrics rollup (``repro-experiments --metrics``): a
+    #: deterministic counters/histograms snapshot from
+    #: :mod:`repro.telemetry.metrics`.  None (the default) is omitted
+    #: from serialization so pre-telemetry artifacts stay byte-identical.
+    telemetry: dict[str, Any] | None = None
 
     def add_row(self, *cells) -> None:
         self.rows.append(list(cells))
@@ -85,7 +90,7 @@ class ExperimentResult:
 
     def to_dict(self) -> dict[str, Any]:
         """Serialize to a JSON-safe dict (the artifact schema)."""
-        return {
+        data = {
             "schema": RESULT_SCHEMA_VERSION,
             "experiment_id": self.experiment_id,
             "title": self.title,
@@ -99,6 +104,9 @@ class ExperimentResult:
             "worker": self.worker,
             "cache_hit": self.cache_hit,
         }
+        if self.telemetry is not None:
+            data["telemetry"] = self.telemetry
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "ExperimentResult":
@@ -128,6 +136,7 @@ class ExperimentResult:
                 wall_time_s=data.get("wall_time_s"),
                 worker=data.get("worker"),
                 cache_hit=bool(data.get("cache_hit", False)),
+                telemetry=data.get("telemetry"),
             )
         except KeyError as exc:
             raise ArtifactError(f"artifact missing required key {exc}") from exc

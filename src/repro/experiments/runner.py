@@ -75,6 +75,7 @@ from repro.experiments.base import ExperimentResult
 from repro.experiments.cache import DEFAULT_CACHE_DIR, ResultCache, cache_key
 from repro.runtime import exitcodes
 from repro.runtime.chaos import CHAOS_ENV_VAR, ChaosPlan
+from repro.runtime.cliutil import build_parser
 from repro.runtime.quarantine import quarantine
 from repro.runtime.supervisor import (
     DEFAULT_GRACE_S,
@@ -169,7 +170,10 @@ def run_experiment(name: str, seed: int | None = None) -> ExperimentResult:
 
 
 def _execute(
-    name: str, seed: int | None, stable_meta: bool = False
+    name: str,
+    seed: int | None,
+    stable_meta: bool = False,
+    metrics: bool = False,
 ) -> dict[str, Any]:
     """Worker entry point: run one experiment, return the artifact dict.
 
@@ -179,11 +183,19 @@ def _execute(
     worker can never ship cells the artifact layer would not round-trip.
     ``stable_meta`` zeroes the volatile run metadata (wall time, worker
     pid) so artifacts and manifests become byte-comparable across runs —
-    the mode the chaos/resume convergence checks rely on.
+    the mode the chaos/resume convergence checks rely on.  ``metrics``
+    attaches this task's telemetry-registry delta (counters/histograms
+    only — wall-clock timers are excluded, so the rollup is exactly as
+    deterministic as the result rows).
     """
+    from repro.telemetry import registry
+
     started = time.perf_counter()
+    before = registry().snapshot(timers=False) if metrics else None
     result = run_experiment(name, seed)
     result.seed = effective_seed(name, seed)
+    if metrics:
+        result.telemetry = registry().delta_since(before, timers=False)
     if stable_meta:
         result.wall_time_s = 0.0
         result.worker = "-"
@@ -195,7 +207,12 @@ def _execute(
 
 def _execute_task(payload: dict) -> dict[str, Any]:
     """Supervised-pool adapter around :func:`_execute` (payload dict in)."""
-    return _execute(payload["name"], payload["seed"], payload["stable_meta"])
+    return _execute(
+        payload["name"],
+        payload["seed"],
+        payload["stable_meta"],
+        payload.get("metrics", False),
+    )
 
 
 class CampaignResult(list):
@@ -292,6 +309,7 @@ def run_campaign(
     chaos: str | None = None,
     stable_meta: bool = False,
     grace_s: float = DEFAULT_GRACE_S,
+    metrics: bool = False,
 ) -> CampaignResult:
     """Run a set of experiments under the supervised campaign runtime.
 
@@ -308,12 +326,18 @@ def run_campaign(
     is written, and :class:`repro.errors.CampaignInterrupted` is raised.
     ``chaos`` arms the test-only fault injector
     (:mod:`repro.runtime.chaos`).  ``progress`` (if given) receives one
-    human-readable line per scheduling event.
+    human-readable line per scheduling event.  ``metrics`` attaches each
+    task's telemetry rollup to its artifact and a merged rollup to the
+    manifest; it disables the result cache for the run (cached results
+    carry no telemetry, and mixing instrumented with cached rows would
+    make the manifest rollup lie about coverage).
     """
     for name in names:
         _spec(name)
     if resume and json_dir is None:
         raise ConfigError("--resume requires --json DIR (the checkpoint lives there)")
+    if metrics:
+        use_cache = False
     say = progress or (lambda line: None)
     cache = ResultCache(cache_dir) if use_cache else None
     keys = {name: cache_key(name, effective_seed(name, seed)) for name in names}
@@ -367,6 +391,17 @@ def run_campaign(
                             "failure": failure.to_dict(),
                         }
                     )
+        extra: dict[str, Any] = {}
+        if metrics:
+            from repro.telemetry import merge_snapshots
+
+            extra["metrics"] = merge_snapshots(
+                [
+                    result.telemetry
+                    for result in completed.values()
+                    if result.telemetry is not None
+                ]
+            )
         return write_manifest(
             json_dir,
             entries,
@@ -376,6 +411,7 @@ def run_campaign(
             failures=[f.to_dict() for f in failures],
             interrupted=interrupted,
             quarantined=quarantined + (cache.quarantined if cache else 0),
+            **extra,
         )
 
     if json_dir is not None:
@@ -400,7 +436,15 @@ def run_campaign(
         if pending:
             report = run_supervised(
                 [
-                    (name, {"name": name, "seed": seed, "stable_meta": stable_meta})
+                    (
+                        name,
+                        {
+                            "name": name,
+                            "seed": seed,
+                            "stable_meta": stable_meta,
+                            "metrics": metrics,
+                        },
+                    )
                     for name in pending
                 ],
                 _execute_task,
@@ -466,9 +510,9 @@ def _select(args: argparse.Namespace) -> list[str]:
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro-experiments",
-        description="Reproduce the paper's tables and figures on the simulator.",
+    parser = build_parser(
+        "repro-experiments",
+        "Reproduce the paper's tables and figures on the simulator.",
     )
     parser.add_argument("names", nargs="*", help="experiments to run")
     parser.add_argument("--list", action="store_true", help="list experiments")
@@ -517,6 +561,12 @@ def main(argv: list[str] | None = None) -> int:
              "artifacts and manifests are byte-comparable across runs",
     )
     parser.add_argument(
+        "--metrics", action="store_true",
+        help="attach per-task telemetry rollups (pipeline counters and "
+             "histograms) to artifacts and a merged rollup to the "
+             "manifest; implies --no-cache",
+    )
+    parser.add_argument(
         "--chaos", default=os.environ.get(CHAOS_ENV_VAR), metavar="SPEC",
         help="self-test: inject runtime faults, e.g. "
              "'crash@fig4,hang@table1,corrupt@fig2,interrupt@fig5' "
@@ -547,6 +597,7 @@ def main(argv: list[str] | None = None) -> int:
             resume=args.resume,
             chaos=args.chaos,
             stable_meta=args.stable_meta,
+            metrics=args.metrics,
         )
     except (UnknownExperimentError, ConfigError, _UsageError) as exc:
         print(f"repro-experiments: {exc}", file=sys.stderr)

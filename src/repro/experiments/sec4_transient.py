@@ -95,7 +95,8 @@ def _fig8_psfp(result: ExperimentResult, seed: int) -> None:
         process, trainer, {"store_target": buf + 64, "load_target": buf}
     )
     forwarded = _touched(machine, process, probe + 0xDD * 4096)
-    event = result_run.events[0].exec_type if result_run.events else None
+    types = result_run.exec_types()
+    event = types[0] if types else None
     result.add_row(
         "PSFP misprediction (Fig 8, 4a)",
         "0xdd (the store's data) loaded transiently",
@@ -115,7 +116,7 @@ def _fig8_ssbp(result: ExperimentResult, seed: int) -> None:
     )
     run = machine.run(process, program)
     stale_touched = _touched(machine, process, probe + 0xCC * 4096)
-    g_event = any(e.exec_type is ExecType.G for e in run.events)
+    g_event = run.has_exec_type(ExecType.G)
     result.add_row(
         "SSBP misprediction (Fig 8, 4b)",
         "0xcc (the stale memory value) loaded transiently",
@@ -150,7 +151,7 @@ def _fig9_windows(result: ExperimentResult, seed: int) -> None:
     run = machine.run(process, program, {"seed": 1, "poff": 0})
     branch_ok = (
         run.rollbacks >= 1
-        and any(e.exec_type is ExecType.G for e in run.events)
+        and run.has_exec_type(ExecType.G)
         and unit.ssbp.occupancy > occupancy_before
     )
     result.add_row(
@@ -179,7 +180,7 @@ def _fig9_windows(result: ExperimentResult, seed: int) -> None:
     run = machine.run(process, program)
     fault_ok = (
         run.rollbacks >= 1
-        and any(e.exec_type is ExecType.G for e in run.events)
+        and run.has_exec_type(ExecType.G)
         and unit.ssbp.occupancy >= 1
     )
     result.add_row(
@@ -203,8 +204,8 @@ def _fig9_windows(result: ExperimentResult, seed: int) -> None:
     ]
     program = machine.load_program(process, Program(instructions, name="m"))
     run = machine.run(process, program)
-    g_events = [e for e in run.events if e.exec_type is ExecType.G]
-    memory_ok = run.rollbacks == 1 and len(run.events) >= 2 and g_events
+    memory_ok = (run.rollbacks == 1 and len(run.events) >= 2
+                 and run.has_exec_type(ExecType.G))
     result.add_row(
         "memory-mispredict window (Fig 9)",
         "nested pair's update survived the squash",

@@ -35,7 +35,6 @@ working as intended and do not fail the run.
 
 from __future__ import annotations
 
-import argparse
 import json
 import os
 import random
@@ -45,7 +44,8 @@ from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.core.config import ZEN3_MODELS
-from repro.errors import ArtifactError, CampaignInterrupted, ConfigError
+from repro.cpu.isa import instructions_from_reprs
+from repro.errors import ArtifactError, CampaignInterrupted, ConfigError, ReproError
 from repro.experiments.cache import content_key
 from repro.fuzz import corpus as corpus_mod
 from repro.fuzz import harness, oracle
@@ -55,6 +55,7 @@ from repro.fuzz.shrink import shrink_report
 from repro.runtime import exitcodes
 from repro.runtime.atomic import atomic_write_json
 from repro.runtime.chaos import CHAOS_ENV_VAR, ChaosPlan
+from repro.runtime.cliutil import build_parser
 from repro.runtime.quarantine import quarantine
 from repro.runtime.supervisor import (
     DEFAULT_GRACE_S,
@@ -62,6 +63,9 @@ from repro.runtime.supervisor import (
     TaskFailure,
     run_supervised,
 )
+from repro.telemetry import recording
+from repro.telemetry.metrics import merge_snapshots, registry
+from repro.telemetry.sinks import JsonlSink, trace_header
 
 __all__ = [
     "DEFAULT_BUDGET",
@@ -72,6 +76,7 @@ __all__ = [
     "derive_case",
     "build_tasks",
     "run_fuzz_campaign",
+    "trace_shrunk_findings",
     "regressions",
     "main",
 ]
@@ -104,6 +109,7 @@ def build_tasks(
     replay: Sequence[CorpusEntry],
     inject: str | None = None,
     shrink: bool = True,
+    metrics: bool = False,
 ) -> list[dict]:
     """The campaign's full task list: corpus replays first, then fresh
     programs (each as a differential task plus an oracle task)."""
@@ -112,6 +118,7 @@ def build_tasks(
         "cpu_model": model_name or "",
         "inject": inject or "",
         "shrink": shrink,
+        "metrics": metrics,
     }
     tasks: list[dict] = []
     for entry in replay:
@@ -154,6 +161,9 @@ def _run_task(task: dict) -> list[dict]:
     """
     hooks = [task["inject"]] if task["inject"] else []
     model = task["cpu_model"] or None
+    # Per-task metrics are a registry *delta*, so they come out identical
+    # whether the worker process is fresh (--jobs N) or reused (inline).
+    before = registry().snapshot(timers=False) if task.get("metrics") else None
     found: list[dict] = []
     with harness.chaos(*hooks):
         for mitigation in task["mitigations"]:
@@ -161,6 +171,10 @@ def _run_task(task: dict) -> list[dict]:
                 found.extend(_differential_findings(task, model, mitigation))
             else:
                 found.extend(_oracle_findings(task, model, mitigation))
+    if before is not None and found:
+        delta = registry().delta_since(before, timers=False)
+        for data in found:
+            data["metrics"] = delta
     return found
 
 
@@ -304,6 +318,7 @@ def run_fuzz_campaign(
     mitigations: Sequence[str] = DEFAULT_MITIGATIONS,
     corpus_dir: str | Path | None = DEFAULT_CORPUS_DIR,
     shrink: bool = True,
+    metrics: bool = False,
     inject: str | None = None,
     progress: Callable[[str], None] | None = None,
     timeout: float | None = None,
@@ -340,6 +355,7 @@ def run_fuzz_campaign(
     tasks = build_tasks(
         budget=budget, seed=seed, mitigations=mitigations,
         model_name=model_name, replay=replay, inject=inject, shrink=shrink,
+        metrics=metrics,
     )
     by_id = {task["task"]: task for task in tasks}
     fingerprint = _campaign_fingerprint(tasks)
@@ -434,6 +450,62 @@ def run_fuzz_campaign(
     return campaign
 
 
+def trace_shrunk_findings(
+    findings: Sequence[Finding],
+    out: str | Path,
+    progress: Callable[[str], None] | None = None,
+) -> int:
+    """Record a pipeline trace of every minimized reproducer.
+
+    For each finding that carries a ``shrunk`` program, the minimized
+    instructions are rebuilt from their reprs and replayed once under the
+    finding's own seed/model/mitigation with tracing on.  Traces land in
+    a ``traces/`` directory next to the findings file and each finding's
+    ``trace`` field records the relative path — a triager can go straight
+    from the JSONL line to ``repro-trace summarize``/``export``.
+
+    Replay happens serially in the parent process after the campaign, so
+    it changes neither the task fingerprints nor the checkpoint format,
+    and the traces are deterministic whatever ``--jobs`` was.
+    """
+    say = progress or (lambda line: None)
+    traces_dir = Path(out).parent / "traces"
+    traced = 0
+    for finding in findings:
+        if finding.shrunk is None:
+            continue
+        name = f"task{finding.task:04d}-{finding.mitigation}.trace.jsonl"
+        sink = JsonlSink(
+            traces_dir / name,
+            header=trace_header(
+                target=f"finding:task{finding.task}",
+                generator=finding.generator,
+                seed=finding.seed,
+                blocks=finding.blocks,
+                mitigation=finding.mitigation,
+                cpu_model=finding.cpu_model,
+                shrunk_count=finding.shrunk["count"],
+            ),
+        )
+        instructions = instructions_from_reprs(finding.shrunk["instructions"])
+        with recording(sink):
+            try:
+                harness.execute_program(
+                    instructions,
+                    seed=finding.seed,
+                    model=finding.cpu_model,
+                    mitigation=finding.mitigation,
+                )
+            except ReproError as exc:
+                # The trace up to the failure is still written and still
+                # useful; faults inside the window are normal here.
+                say(f"trace {name}: replay stopped early ({exc})")
+        finding.trace = f"traces/{name}"
+        traced += 1
+        say(f"traced minimized repro of task {finding.task} -> traces/{name}")
+    return traced
+
+
 def regressions(findings: Sequence[Finding]) -> list[Finding]:
     """The findings that should fail a campaign: every architectural
     problem, plus leaks that survived an active mitigation."""
@@ -444,13 +516,19 @@ def regressions(findings: Sequence[Finding]) -> list[Finding]:
     ]
 
 
+_EPILOG = """\
+a "regression" (exit 1) is any architectural divergence, any
+oracle-invariant violation, or a leak under an active mitigation
+(ssbd/fence); leaks under `none` are the paper's attacks working as
+intended and do not fail the run"""
+
+
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro-fuzz",
-        description=(
-            "Differential speculation fuzzing: dual-execution correctness "
-            "checks plus a two-fill leakage oracle, per mitigation."
-        ),
+    parser = build_parser(
+        "repro-fuzz",
+        "Differential speculation fuzzing: dual-execution correctness "
+        "checks plus a two-fill leakage oracle, per mitigation.",
+        epilog=_EPILOG,
     )
     parser.add_argument(
         "--budget", type=int, default=DEFAULT_BUDGET, metavar="N",
@@ -491,6 +569,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-shrink", action="store_true",
         help="skip counterexample minimization",
+    )
+    parser.add_argument(
+        "--trace-findings", action="store_true",
+        help="replay each minimized reproducer with pipeline tracing on; "
+             "traces land under traces/ next to --out and each finding "
+             "gains a 'trace' field (see docs/observability.md)",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="attach each finding task's deterministic telemetry-counter "
+             "delta as a 'metrics' field and print the campaign rollup",
     )
     parser.add_argument(
         "--inject", default=None, choices=harness.CHAOS_HOOK_NAMES, metavar="HOOK",
@@ -534,6 +623,7 @@ def main(argv: list[str] | None = None) -> int:
             mitigations=mitigations,
             corpus_dir=corpus_dir,
             shrink=not args.no_shrink,
+            metrics=args.metrics,
             inject=args.inject,
             progress=lambda line: print(f"  .. {line}", file=sys.stderr),
             timeout=args.timeout,
@@ -554,6 +644,12 @@ def main(argv: list[str] | None = None) -> int:
         )
         return exitcodes.EXIT_INTERRUPTED
 
+    traced = 0
+    if args.trace_findings:
+        traced = trace_shrunk_findings(
+            findings, args.out,
+            progress=lambda line: print(f"  .. {line}", file=sys.stderr),
+        )
     path = write_findings(args.out, findings)
     by_kind: dict[str, int] = {}
     for finding in findings:
@@ -567,6 +663,17 @@ def main(argv: list[str] | None = None) -> int:
     for kind in sorted(by_kind):
         print(f"  {kind}: {by_kind[kind]}")
     print(f"  findings written to {path}")
+    if traced:
+        print(f"  traced {traced} minimized repro(s) under {Path(args.out).parent / 'traces'}")
+    if args.metrics:
+        rollup = merge_snapshots(
+            [f.metrics for f in findings if f.metrics is not None]
+        )
+        counters = rollup.get("counters", {})
+        print(f"  metrics rollup over {len([f for f in findings if f.metrics])} "
+              f"finding(s):")
+        for name in sorted(counters):
+            print(f"    {counters[name]:>9}  {name}")
     if findings.resumed:
         print(f"  resumed {findings.resumed} task(s) from checkpoint")
     if findings.quarantined:

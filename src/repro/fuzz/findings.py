@@ -58,6 +58,12 @@ class Finding:
     detail: dict = field(default_factory=dict)
     #: Minimized reproducer: {"count": N, "instructions": [repr, ...]}.
     shrunk: dict | None = None
+    #: Per-task deterministic metrics delta (``repro-fuzz --metrics``):
+    #: a counters/histograms snapshot from :mod:`repro.telemetry.metrics`.
+    metrics: dict | None = None
+    #: Trace of the minimized repro relative to the findings file
+    #: (``repro-fuzz --trace-findings``), e.g. "traces/task0007-none.trace.jsonl".
+    trace: str | None = None
     schema: int = SCHEMA_VERSION
 
     def __post_init__(self) -> None:
@@ -82,6 +88,10 @@ class Finding:
         }
         if self.shrunk is not None:
             data["shrunk"] = self.shrunk
+        if self.metrics is not None:
+            data["metrics"] = self.metrics
+        if self.trace is not None:
+            data["trace"] = self.trace
         return data
 
     @classmethod
@@ -105,6 +115,8 @@ class Finding:
                 label=str(data.get("label", "")),
                 detail=dict(data.get("detail", {})),
                 shrunk=data.get("shrunk"),
+                metrics=data.get("metrics"),
+                trace=data.get("trace"),
                 schema=schema,
             )
         except (KeyError, TypeError, ValueError) as exc:

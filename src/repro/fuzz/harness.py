@@ -36,6 +36,7 @@ from repro.fuzz.corpus import CorpusEntry
 from repro.fuzz.gen import BUF_BYTES, BUF_PAGES, build_program
 from repro.mitigations.fences import fence_after_stores
 from repro.osm.process import Process
+from repro.telemetry.metrics import registry
 
 __all__ = [
     "MITIGATIONS",
@@ -140,6 +141,8 @@ def execute_program(
     Faults and step-limit overruns become statuses, not exceptions, so
     comparing two executions always works.
     """
+    executor = "pipeline" if use_pipeline else "reference"
+    registry().counter(f"fuzz.executions.{executor}").inc()
     mitigated = apply_mitigation(instructions, mitigation)
     machine = Machine(model=resolve_model(model), seed=seed)
     if mitigation == "ssbd":
@@ -227,6 +230,9 @@ def run_dual(
         outcome_a=pipe.status,
         outcome_b=ref.status,
     )
+    registry().counter("fuzz.dual_runs").inc()
+    if divergence is not None:
+        registry().counter("fuzz.divergences").inc()
     return DualReport(
         instructions=list(instructions),
         seed=seed,

@@ -1,0 +1,61 @@
+"""Shared CLI plumbing for the repro console scripts.
+
+``repro-experiments``, ``repro-fuzz`` and ``repro-trace`` present one
+surface: the same ``--version`` string, the same ``--help`` epilog
+stating the exit-code contract (:mod:`repro.runtime.exitcodes`), and the
+same formatter so the epilog's table survives argparse's re-wrapping.
+Build parsers through :func:`build_parser` instead of calling
+``argparse.ArgumentParser`` directly so the three tools cannot drift.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.runtime.exitcodes import (
+    EXIT_FAILURES,
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    EXIT_USAGE,
+    describe,
+)
+
+__all__ = ["EXIT_CODE_EPILOG", "build_parser", "version_string"]
+
+#: The epilog every repro CLI appends to ``--help``.
+EXIT_CODE_EPILOG = "\n".join(
+    ["exit codes:"]
+    + [
+        f"  {code}  {describe(code)}"
+        for code in (EXIT_OK, EXIT_FAILURES, EXIT_USAGE, EXIT_INTERRUPTED)
+    ]
+)
+
+
+def version_string(prog: str) -> str:
+    from repro import __version__
+
+    return f"{prog} (repro) {__version__}"
+
+
+def build_parser(
+    prog: str,
+    description: str,
+    epilog: str | None = None,
+) -> argparse.ArgumentParser:
+    """An ``ArgumentParser`` with the shared ``--version`` and epilog.
+
+    ``epilog`` (if given) is tool-specific text placed *above* the common
+    exit-code table.
+    """
+    parts = [text for text in (epilog, EXIT_CODE_EPILOG) if text]
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description=description,
+        epilog="\n\n".join(parts),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--version", action="version", version=version_string(prog)
+    )
+    return parser

@@ -30,8 +30,8 @@ nothing completed is ever lost to a later fault.
 from __future__ import annotations
 
 import multiprocessing as mp
+import multiprocessing.connection as mp_connection
 import os
-import queue as queue_mod
 import signal
 import time
 from contextlib import contextmanager
@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.runtime.chaos import ChaosPlan
+from repro.telemetry.metrics import registry
 
 __all__ = [
     "DEFAULT_RETRIES",
@@ -109,13 +110,21 @@ class SupervisorReport:
     retried: int = 0
 
 
-def _worker_main(worker, chaos_spec, chaos_dir, inbox, outbox) -> None:
+def _worker_main(worker, chaos_spec, chaos_dir, inbox, results) -> None:
     """Worker process loop: pull a task, run it, report — never die quietly.
 
     SIGINT is ignored (a terminal Ctrl-C reaches the whole foreground
     process group; shutdown is the supervisor's job) and SIGTERM is reset
     to its default so the supervisor's ``terminate()`` actually kills us
     instead of re-raising the parent's inherited handler.
+
+    ``results`` is this worker's private pipe end, written synchronously
+    from this thread.  A queue shared between workers would report through
+    a feeder thread holding a cross-process write lock — and a worker that
+    dies mid-send (segfault, chaos ``os._exit``) would take that lock to
+    the grave and deadlock every surviving worker's reports.  With one
+    pipe per worker a death can only sever its own channel, which the
+    supervisor observes as EOF.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     signal.signal(signal.SIGTERM, signal.SIG_DFL)
@@ -131,24 +140,28 @@ def _worker_main(worker, chaos_spec, chaos_dir, inbox, outbox) -> None:
             result = worker(payload)
             if plan is not None:
                 result = plan.after_task(task_id, result)
-            outbox.put(("ok", task_id, result))
+            results.send(("ok", task_id, result))
         except BaseException as exc:  # the supervisor owns retry policy
-            outbox.put(("error", task_id, f"{type(exc).__name__}: {exc}"))
+            results.send(("error", task_id, f"{type(exc).__name__}: {exc}"))
 
 
 class _Worker:
     """One supervised pool process plus its dispatch bookkeeping."""
 
-    def __init__(self, ctx, worker, chaos, outbox) -> None:
+    def __init__(self, ctx, worker, chaos) -> None:
         self.inbox = ctx.SimpleQueue()
+        self.results, child_end = ctx.Pipe(duplex=False)
         spec = chaos.spec if chaos is not None else ""
         state = chaos.state_dir if chaos is not None else ""
         self.process = ctx.Process(
             target=_worker_main,
-            args=(worker, spec, state, self.inbox, outbox),
+            args=(worker, spec, state, self.inbox, child_end),
             daemon=True,
         )
         self.process.start()
+        # Close the parent's copy of the write end, or the worker's death
+        # would never surface as EOF on self.results.
+        child_end.close()
         self.task_id: Any = None
         self.deadline: float | None = None
 
@@ -237,6 +250,9 @@ def _run_inline(items, worker, retries, schedule, validate, on_result, say, repo
         while True:
             attempts += 1
             kind = "error"
+            # Counted before the worker runs, so a task's own metrics
+            # delta (snapshotted inside the worker) never includes it.
+            registry().counter("supervisor.dispatched").inc()
             try:
                 value = worker(payload)
                 kind = "invalid-result"
@@ -255,11 +271,13 @@ def _run_inline(items, worker, retries, schedule, validate, on_result, say, repo
                     break
                 delay = schedule[attempts - 1]
                 report.retried += 1
+                registry().counter("supervisor.retries").inc()
                 say(f"task {task_id}: attempt {attempts} failed ({kind}); "
                     f"retrying in {delay:.2f}s")
                 time.sleep(delay)
                 continue
             report.results[task_id] = value
+            registry().counter("supervisor.completed").inc()
             if on_result is not None:
                 on_result(task_id, value)
             break
@@ -270,12 +288,11 @@ def _run_pool(
     on_result, say, report, grace_s,
 ):
     ctx = mp.get_context()
-    outbox = ctx.Queue()
     payloads = dict(items)
     count = max(1, min(jobs, len(items)))
 
     def spawn() -> _Worker:
-        return _Worker(ctx, worker, chaos, outbox)
+        return _Worker(ctx, worker, chaos)
 
     workers: list[_Worker] = [spawn() for _ in range(count)]
     # (task_id, attempts_so_far, ready_at): attempts_so_far counts dispatches
@@ -284,6 +301,7 @@ def _run_pool(
     done: set = set()
 
     def handle_attempt_failure(task_id: Any, attempts: int, kind: str, message: str):
+        registry().counter(f"supervisor.failures.{kind}").inc()
         if attempts > retries:
             failure = TaskFailure(task_id, kind, attempts, message)
             report.failures.append(failure)
@@ -293,6 +311,7 @@ def _run_pool(
         else:
             delay = schedule[attempts - 1]
             report.retried += 1
+            registry().counter("supervisor.retries").inc()
             pending.append((task_id, attempts, time.monotonic() + delay))
             say(f"task {task_id}: attempt {attempts} failed ({kind}); "
                 f"retrying in {delay:.2f}s")
@@ -311,6 +330,7 @@ def _run_pool(
                 break
             task_id, attempts, _ = pending.pop(slot)
             w.dispatch(task_id, payloads[task_id], timeout)
+            registry().counter("supervisor.dispatched").inc()
             # remember how many attempts this dispatch represents
             attempt_counts[task_id] = attempts + 1
 
@@ -320,39 +340,47 @@ def _run_pool(
         return next((w for w in workers if w.task_id == task_id), None)
 
     def drain_results(block: bool, honor_chaos: bool) -> None:
-        first = True
-        while True:
-            try:
-                message = outbox.get(timeout=_POLL_S) if (block and first) \
-                    else outbox.get_nowait()
-            except queue_mod.Empty:
-                return
-            first = False
-            status, task_id, value = message
-            w = owner_of(task_id)
-            if w is not None:
-                w.clear()
-            if task_id in done or task_id in report.results:
-                continue  # stale duplicate from a worker we already wrote off
-            attempts = attempt_counts.get(task_id, 1)
-            if status == "ok":
+        conns = [w.results for w in workers if not w.results.closed]
+        if not conns:
+            return
+        # wait() also flags connections at EOF (dead worker) as ready;
+        # recv() drains any buffered result first, then raises.  Messages
+        # are processed one recv at a time so an interrupt raised here
+        # leaves the rest buffered in the pipes for the graceful drain.
+        for conn in mp_connection.wait(conns, timeout=_POLL_S if block else 0):
+            while True:
                 try:
-                    parsed = validate(value) if validate is not None else value
-                except Exception as exc:
-                    handle_attempt_failure(
-                        task_id, attempts, "invalid-result",
-                        f"{type(exc).__name__}: {exc}",
-                    )
-                    continue
-                report.results[task_id] = parsed
-                done.add(task_id)
-                if on_result is not None:
-                    on_result(task_id, parsed)
-                if honor_chaos and chaos is not None and chaos.wants_interrupt(task_id):
-                    say(f"chaos: injecting interrupt after task {task_id}")
-                    raise KeyboardInterrupt
-            else:
-                handle_attempt_failure(task_id, attempts, "error", str(value))
+                    if not conn.poll():
+                        break
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    break  # severed pipe: check_crashes owns the bookkeeping
+                status, task_id, value = message
+                w = owner_of(task_id)
+                if w is not None:
+                    w.clear()
+                if task_id in done or task_id in report.results:
+                    continue  # stale duplicate from a worker we already wrote off
+                attempts = attempt_counts.get(task_id, 1)
+                if status == "ok":
+                    try:
+                        parsed = validate(value) if validate is not None else value
+                    except Exception as exc:
+                        handle_attempt_failure(
+                            task_id, attempts, "invalid-result",
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                        continue
+                    report.results[task_id] = parsed
+                    done.add(task_id)
+                    registry().counter("supervisor.completed").inc()
+                    if on_result is not None:
+                        on_result(task_id, parsed)
+                    if honor_chaos and chaos is not None and chaos.wants_interrupt(task_id):
+                        say(f"chaos: injecting interrupt after task {task_id}")
+                        raise KeyboardInterrupt
+                else:
+                    handle_attempt_failure(task_id, attempts, "error", str(value))
 
     def check_deadlines() -> None:
         now = time.monotonic()

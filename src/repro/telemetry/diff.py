@@ -1,0 +1,136 @@
+"""First-divergence diffing between two recorded traces.
+
+The triage primitive for "these two runs should have behaved the same":
+mitigated vs unmitigated, ``Pipeline`` vs ``ReferenceInterpreter``-
+shadowed run, seed A vs seed B of a flaky finding.  Because traces are
+deterministic and sequence-numbered, the *first* event where the two
+streams disagree is the root cause's earliest observable — everything
+after it is fallout and usually noise.
+
+``seq`` is ignored during comparison (it is positional already) and so
+are fields listed in ``ignore`` — e.g. ``cycle`` when comparing across
+CPU models with different latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["TraceDiff", "first_divergence"]
+
+
+@dataclass(frozen=True)
+class TraceDiff:
+    """The first point where two traces disagree (or proof they don't)."""
+
+    #: Index into both event streams of the first mismatch (for a pure
+    #: length mismatch, the length of the shorter stream); None when the
+    #: traces are identical.
+    index: int | None
+    left: dict[str, Any] | None
+    right: dict[str, Any] | None
+    #: Field names that differ when both events exist and share a kind.
+    fields: tuple[str, ...] = ()
+    left_total: int = 0
+    right_total: int = 0
+    context: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def identical(self) -> bool:
+        return self.index is None and self.left_total == self.right_total
+
+    def describe(self) -> str:
+        if self.identical:
+            return f"traces identical ({self.left_total} events)"
+        if self.index is None:
+            longer = "left" if self.left_total > self.right_total else "right"
+            return (
+                f"common prefix identical; {longer} trace continues "
+                f"({self.left_total} vs {self.right_total} events)"
+            )
+        lines = [
+            f"first divergence at event {self.index} "
+            f"({self.left_total} vs {self.right_total} events total)"
+        ]
+        if self.context:
+            lines.append("  shared prefix tail:")
+            for event in self.context:
+                lines.append(f"    = {_brief(event)}")
+        if self.left is not None and self.right is not None and self.fields:
+            lines.append(f"  < {_brief(self.left)}")
+            lines.append(f"  > {_brief(self.right)}")
+            lines.append(f"  differing fields: {', '.join(self.fields)}")
+        else:
+            lines.append(f"  < {_brief(self.left) if self.left else '(stream ended)'}")
+            lines.append(f"  > {_brief(self.right) if self.right else '(stream ended)'}")
+        return "\n".join(lines)
+
+
+def _brief(event: dict[str, Any]) -> str:
+    detail = ", ".join(
+        f"{key}={value}"
+        for key, value in event.items()
+        if key not in ("seq", "kind")
+    )
+    return f"{event.get('kind', '?')}({detail})"
+
+
+def first_divergence(
+    left: list[dict[str, Any]],
+    right: list[dict[str, Any]],
+    ignore: tuple[str, ...] = (),
+    context: int = 3,
+) -> TraceDiff:
+    """Locate the first event where ``left`` and ``right`` disagree.
+
+    ``ignore`` names payload fields excluded from comparison (``seq`` is
+    always excluded); ``context`` is how many shared-prefix events to
+    keep for the report.
+    """
+    skip = set(ignore) | {"seq"}
+
+    def normalize(event: dict[str, Any]) -> dict[str, Any]:
+        return {key: value for key, value in event.items() if key not in skip}
+
+    for index, (a, b) in enumerate(zip(left, right)):
+        na, nb = normalize(a), normalize(b)
+        if na == nb:
+            continue
+        fields = tuple(
+            sorted(
+                key
+                for key in set(na) | set(nb)
+                if na.get(key, _MISSING) != nb.get(key, _MISSING)
+            )
+        )
+        return TraceDiff(
+            index=index,
+            left=a,
+            right=b,
+            fields=fields,
+            left_total=len(left),
+            right_total=len(right),
+            context=left[max(0, index - context) : index],
+        )
+    if len(left) != len(right):
+        shorter = min(len(left), len(right))
+        return TraceDiff(
+            index=shorter,
+            left=left[shorter] if len(left) > shorter else None,
+            right=right[shorter] if len(right) > shorter else None,
+            left_total=len(left),
+            right_total=len(right),
+            context=left[max(0, shorter - context) : shorter],
+        )
+    return TraceDiff(
+        index=None, left=None, right=None, left_total=len(left), right_total=len(right)
+    )
+
+
+class _Missing:
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<missing>"
+
+
+_MISSING = _Missing()

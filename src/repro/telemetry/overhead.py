@@ -1,0 +1,97 @@
+"""No-trace overhead guard (``python -m repro.telemetry.overhead``).
+
+Telemetry's core promise is *zero overhead when disabled*: with no
+tracer active every instrumented call site must reduce to one ``is not
+None`` test.  This guard holds that promise in CI (``make trace-smoke``):
+
+1. asserts no tracer is active and runs a fixed, seeded pipeline
+   workload (the Fig 2 exec-type driver — branchy, store-load heavy,
+   every instrumented path exercised);
+2. takes the median of several repetitions and enforces a wall-clock
+   budget (``--budget`` seconds, deliberately generous — the target is
+   catching accidental always-on event construction, which is a
+   multiple-x regression, not a few percent of scheduler noise);
+3. re-runs the workload once *with* tracing into a ring buffer and
+   asserts events actually flow — guarding against the inverse failure
+   (instrumentation silently compiled out, so the "overhead" being
+   measured is of nothing).
+
+Exit 0 on pass, 1 on budget breach or broken instrumentation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import current_tracer, recording
+from .sinks import RingBufferSink
+
+__all__ = ["measure", "main"]
+
+DEFAULT_BUDGET_S = 20.0
+DEFAULT_REPEATS = 3
+_WORKLOAD_SEED = 2024
+
+
+def _workload() -> None:
+    from ..experiments.fig2_exec_types import run
+
+    run(seed=_WORKLOAD_SEED)
+
+
+def measure(repeats: int = DEFAULT_REPEATS) -> list[float]:
+    """Wall-time samples of the seeded workload with telemetry disabled."""
+    if current_tracer() is not None:
+        raise RuntimeError("a tracer is active; the guard measures the disabled path")
+    samples = []
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        _workload()
+        samples.append(time.perf_counter() - started)
+    return samples
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.telemetry.overhead",
+        description="Assert the telemetry-disabled pipeline stays within budget.",
+    )
+    parser.add_argument("--budget", type=float, default=DEFAULT_BUDGET_S,
+                        metavar="SECONDS", help=f"median wall-clock budget "
+                        f"(default {DEFAULT_BUDGET_S})")
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS, metavar="N",
+                        help=f"workload repetitions (default {DEFAULT_REPEATS})")
+    args = parser.parse_args(argv)
+
+    samples = sorted(measure(args.repeats))
+    median = samples[len(samples) // 2]
+    print(
+        f"overhead-guard: telemetry disabled, median {median:.2f}s over "
+        f"{len(samples)} run(s) (budget {args.budget:.2f}s)"
+    )
+    if median > args.budget:
+        print(
+            f"overhead-guard: FAIL — {median:.2f}s exceeds the {args.budget:.2f}s "
+            "budget; check for event construction on the disabled path",
+            file=sys.stderr,
+        )
+        return 1
+
+    sink = RingBufferSink()
+    with recording(sink):
+        _workload()
+    if len(sink) == 0:
+        print(
+            "overhead-guard: FAIL — tracing enabled but no events emitted; "
+            "instrumentation is disconnected",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"overhead-guard: instrumentation live ({len(sink)} events when enabled)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

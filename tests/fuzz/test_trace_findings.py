@@ -1,0 +1,85 @@
+"""Replaying shrunk reproducers with tracing (``--trace-findings``)."""
+
+import pytest
+
+from repro.cpu.isa import (
+    Halt,
+    Jz,
+    Label,
+    Load,
+    MovImm,
+    Store,
+    instruction_from_repr,
+    instructions_from_reprs,
+)
+from repro.errors import InvalidInstruction
+from repro.fuzz.cli import trace_shrunk_findings
+from repro.fuzz.findings import Finding
+from repro.telemetry.sinks import read_trace
+
+
+class TestInstructionFromRepr:
+    def test_round_trips_every_shape(self):
+        program = [
+            MovImm("p", 0x1000),
+            Store(base="p", src="p", offset=8, width=4),
+            Load("x", base="p"),
+            Jz("x", "end"),
+            Label("end"),
+            Halt(),
+        ]
+        rebuilt = instructions_from_reprs([repr(i) for i in program])
+        assert rebuilt == program
+
+    def test_rejects_non_instruction_expressions(self):
+        with pytest.raises(InvalidInstruction):
+            instruction_from_repr("[1, 2, 3]")
+
+    def test_rejects_arbitrary_code(self):
+        with pytest.raises(InvalidInstruction):
+            instruction_from_repr("__import__('os')")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(InvalidInstruction):
+            instruction_from_repr("Frobnicate(x=1)")
+
+
+class TestTraceShrunkFindings:
+    def _finding(self, shrunk):
+        return Finding(
+            kind="architectural-divergence",
+            generator="fuzz-v1",
+            seed=5,
+            blocks=12,
+            cpu_model="ryzen9-5900x",
+            mitigation="none",
+            task=3,
+            shrunk=shrunk,
+        )
+
+    def test_traces_only_shrunk_findings(self, tmp_path):
+        program = [MovImm("p", 0x1000), Halt()]
+        shrunk = {"count": 2, "original_count": 9,
+                  "instructions": [repr(i) for i in program]}
+        with_repro = self._finding(shrunk)
+        without = self._finding(None)
+        out = tmp_path / "findings.jsonl"
+        traced = trace_shrunk_findings([with_repro, without], out)
+        assert traced == 1
+        assert with_repro.trace == "traces/task0003-none.trace.jsonl"
+        assert without.trace is None
+        header, events = read_trace(tmp_path / with_repro.trace)
+        assert header["target"] == "finding:task3"
+        assert any(e["kind"] == "dispatch" for e in events)
+
+    def test_trace_field_round_trips(self):
+        finding = self._finding(None)
+        finding.trace = "traces/x.jsonl"
+        finding.metrics = {"counters": {"fuzz.dual_runs": 1}}
+        rebuilt = Finding.from_dict(finding.to_dict())
+        assert rebuilt.trace == finding.trace
+        assert rebuilt.metrics == finding.metrics
+
+    def test_absent_fields_stay_out_of_the_artifact(self):
+        data = self._finding(None).to_dict()
+        assert "trace" not in data and "metrics" not in data

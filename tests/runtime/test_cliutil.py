@@ -1,0 +1,56 @@
+"""The shared CLI surface: one --version string, one exit-code epilog.
+
+Satellite of the telemetry PR: ``repro-experiments``, ``repro-fuzz`` and
+``repro-trace`` all build their parsers through
+:func:`repro.runtime.cliutil.build_parser`, so the three tools present
+the same ``--version`` format and the same documented 0/1/2/3 contract.
+"""
+
+import pytest
+
+from repro import __version__
+from repro.runtime.cliutil import EXIT_CODE_EPILOG, build_parser, version_string
+
+_CLIS = {
+    "repro-experiments": "repro.experiments.runner",
+    "repro-fuzz": "repro.fuzz.cli",
+    "repro-trace": "repro.telemetry.cli",
+}
+
+
+class TestBuildParser:
+    def test_epilog_documents_all_four_codes(self):
+        for code in range(4):
+            assert f"\n  {code}  " in "\n" + EXIT_CODE_EPILOG
+
+    def test_tool_epilog_goes_above_the_contract(self):
+        parser = build_parser("x", "desc", epilog="tool specifics")
+        assert parser.epilog.index("tool specifics") \
+            < parser.epilog.index("exit codes:")
+
+    def test_version_string_carries_package_version(self):
+        assert version_string("repro-x") == f"repro-x (repro) {__version__}"
+
+
+@pytest.mark.parametrize("prog,module", sorted(_CLIS.items()))
+class TestUnifiedSurface:
+    def _main(self, module):
+        import importlib
+
+        return importlib.import_module(module).main
+
+    def test_version_flag(self, prog, module, capsys):
+        with pytest.raises(SystemExit) as exc:
+            self._main(module)(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert out.strip() == version_string(prog)
+
+    def test_help_states_the_exit_code_contract(self, prog, module, capsys):
+        with pytest.raises(SystemExit) as exc:
+            self._main(module)(["--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "exit codes:" in out
+        for line in EXIT_CODE_EPILOG.splitlines():
+            assert line in out

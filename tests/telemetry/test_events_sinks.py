@@ -1,0 +1,112 @@
+"""Event serialization round-trips and sink/tracer behaviour."""
+
+import pytest
+
+from repro.telemetry import activate, current_tracer, deactivate, recording
+from repro.telemetry.events import (
+    TRACE_SCHEMA,
+    EVENT_KINDS,
+    DispatchEvent,
+    PredictorTransitionEvent,
+    SquashEvent,
+    StldPredictEvent,
+    event_from_dict,
+)
+from repro.telemetry.sinks import (
+    JsonlSink,
+    RingBufferSink,
+    Tracer,
+    read_trace,
+    trace_header,
+)
+
+
+class TestEventRoundTrip:
+    def test_every_kind_is_registered(self):
+        assert "dispatch" in EVENT_KINDS
+        assert "predictor-transition" in EVENT_KINDS
+
+    def test_dispatch_round_trips(self):
+        event = DispatchEvent(cycle=3, thread=0, index=7, op="Load")
+        data = event.to_dict()
+        assert data["kind"] == "dispatch"
+        assert event_from_dict(data) == event
+
+    def test_predictor_transition_round_trips(self):
+        event = PredictorTransitionEvent(
+            cycle=9, thread=1, store_hash=0x11, load_hash=0x22,
+            aliasing=True, exec_type="A", state_before="initialize",
+            state_after="sq-stall", counters_before=(0, 0, 0, 0, 0),
+            counters_after=(1, 0, 0, 0, 0),
+        )
+        rebuilt = event_from_dict(event.to_dict())
+        assert rebuilt == event
+        assert rebuilt.counters_after == (1, 0, 0, 0, 0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            event_from_dict({"kind": "nonsense", "cycle": 0, "thread": 0})
+
+
+class TestTracer:
+    def test_assigns_monotonic_seq(self):
+        sink = RingBufferSink()
+        tracer = Tracer(sink)
+        tracer.emit(DispatchEvent(cycle=0, thread=0, index=0, op="Halt"))
+        tracer.emit(SquashEvent(cycle=1, thread=0, reason="fault",
+                                from_index=0, penalty=10))
+        assert [e["seq"] for e in sink.events()] == [0, 1]
+        assert tracer.events_emitted == 2
+
+    def test_ring_buffer_drops_oldest(self):
+        sink = RingBufferSink(capacity=2)
+        tracer = Tracer(sink)
+        for index in range(3):
+            tracer.emit(DispatchEvent(cycle=index, thread=0, index=index, op="Pad"))
+        assert sink.dropped == 1
+        assert [e["seq"] for e in sink.events()] == [1, 2]
+
+
+class TestActivation:
+    def test_recording_scopes_the_tracer(self):
+        assert current_tracer() is None
+        with recording(RingBufferSink()) as tracer:
+            assert current_tracer() is tracer
+        assert current_tracer() is None
+
+    def test_double_activation_rejected(self):
+        activate(RingBufferSink())
+        try:
+            with pytest.raises(RuntimeError):
+                activate(RingBufferSink())
+        finally:
+            deactivate()
+        assert current_tracer() is None
+
+
+class TestJsonlSink:
+    def test_write_and_read_back(self, tmp_path):
+        path = tmp_path / "t.trace.jsonl"
+        sink = JsonlSink(path, header=trace_header(target="unit", seed=5))
+        tracer = Tracer(sink)
+        tracer.emit(StldPredictEvent(
+            cycle=2, thread=0, index=1, store_ipa=0x100, load_ipa=0x200,
+            aliasing=False, psf_forward=False, sticky=False, covers=False,
+        ))
+        sink.close()
+        header, events = read_trace(path)
+        assert header["schema"] == TRACE_SCHEMA
+        assert header["target"] == "unit" and header["seed"] == 5
+        assert len(events) == 1
+        assert events[0]["kind"] == "stld-predict"
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.close()
+
+    def test_read_rejects_headerless_file(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind":"dispatch"}\n')
+        with pytest.raises(ValueError):
+            read_trace(path)

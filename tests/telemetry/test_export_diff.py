@@ -1,0 +1,88 @@
+"""Trace diffing and the Chrome-trace/timeline exporters."""
+
+from repro.telemetry.diff import first_divergence
+from repro.telemetry.export import summarize_events, to_chrome_trace, to_timeline
+from repro.telemetry.sinks import trace_header
+
+
+def _event(kind, seq, **payload):
+    data = {"kind": kind, "seq": seq, "cycle": payload.pop("cycle", seq),
+            "thread": 0}
+    data.update(payload)
+    return data
+
+
+def _stream():
+    return [
+        _event("dispatch", 0, index=0, op="Store"),
+        _event("dispatch", 1, index=1, op="Load"),
+        _event("stld-predict", 2, index=1, store_ipa=1, load_ipa=2,
+               aliasing=False, psf_forward=False, sticky=False, covers=False),
+        _event("commit", 3, index=0, op="Store", retired=1),
+        _event("commit", 4, index=1, op="Load", retired=2),
+    ]
+
+
+class TestFirstDivergence:
+    def test_identical(self):
+        diff = first_divergence(_stream(), _stream())
+        assert diff.identical
+        assert "identical" in diff.describe()
+
+    def test_payload_divergence(self):
+        left, right = _stream(), _stream()
+        right[2]["aliasing"] = True
+        diff = first_divergence(left, right)
+        assert not diff.identical
+        assert diff.index == 2
+        assert diff.fields == ("aliasing",)
+        assert "aliasing" in diff.describe()
+
+    def test_seq_always_ignored(self):
+        left, right = _stream(), _stream()
+        for event in right:
+            event["seq"] += 10
+        assert first_divergence(left, right).identical
+
+    def test_ignore_fields(self):
+        left, right = _stream(), _stream()
+        for event in right:
+            event["cycle"] += 5
+        assert not first_divergence(left, right).identical
+        assert first_divergence(left, right, ignore=("cycle",)).identical
+
+    def test_length_mismatch(self):
+        left = _stream()
+        diff = first_divergence(left, left[:3])
+        assert not diff.identical
+        assert diff.index == 3
+        assert "(stream ended)" in diff.describe()
+
+    def test_context_captures_prefix_tail(self):
+        left, right = _stream(), _stream()
+        right[4]["retired"] = 99
+        diff = first_divergence(left, right, context=2)
+        assert len(diff.context) == 2
+        assert diff.context[-1]["kind"] == "commit"
+
+
+class TestExport:
+    def test_summarize(self):
+        summary = summarize_events(_stream())
+        assert summary["events"] == 5
+        assert summary["kinds"]["dispatch"] == 2
+        assert summary["last_cycle"] == 4
+
+    def test_chrome_trace_pairs_dispatch_commit(self):
+        doc = to_chrome_trace(trace_header(target="unit"), _stream())
+        slices = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        # two dispatch->commit slices plus the stld-predict instant slice
+        assert len(slices) == 3
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_timeline_lists_every_event(self):
+        text = to_timeline(trace_header(target="unit"), _stream())
+        lines = [line for line in text.splitlines() if line.strip()]
+        # header block + one line per event
+        assert sum("dispatch" in line for line in lines) >= 2
+        assert any("stld-predict" in line for line in lines)
