@@ -1,13 +1,23 @@
 # Convenience targets for the repro package.  Everything assumes the
 # source layout (PYTHONPATH=src) so no install step is needed.
 
+# Recipes always run under a plain non-login /bin/sh.  Login shells on
+# dev images commonly run `conda config` from their profile, which emits
+# a condarc WARNING ("Key auto_activate_base is an alias ...") into any
+# captured stream; pinning SHELL guarantees no recipe output is ever
+# polluted by profile noise, so smoke-gate logs stay grep-clean no
+# matter which shell launched make.  (If the warning still appears, it
+# is from the *invoking* login shell, before make starts — run make from
+# a non-login shell or `conda config --set auto_activate false` once.)
+SHELL := /bin/sh
+
 PY      ?= python
 JOBS    ?= 4
 RESULTS ?= results
 
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test experiments-quick experiments-check experiments-all regen-experiments-md fuzz-smoke chaos-smoke trace-smoke clean-cache
+.PHONY: test experiments-quick experiments-check experiments-all regen-experiments-md fuzz-smoke chaos-smoke trace-smoke bench-smoke bench-baseline equivalence-check clean-cache
 
 test:
 	$(PY) -m pytest -x -q
@@ -86,6 +96,30 @@ trace-smoke:
 	$(PY) -m repro.telemetry.overhead
 	rm -rf $(RESULTS)-trace
 	@echo "trace-smoke: traces deterministic across reruns and job counts; overhead in budget"
+
+## Performance regression gate (docs/performance.md): a quick benchmark
+## pass compared against the committed baseline benchmarks/BENCH_seed.json.
+## Fails (exit 1) only on a >25% throughput drop that also exceeds both
+## runs' measured spread, so scheduler noise alone cannot fail the gate.
+## Re-baseline with `make bench-baseline` after a deliberate perf change
+## (policy: docs/performance.md "Updating the baseline").
+bench-smoke:
+	rm -rf $(RESULTS)-bench
+	$(PY) -m repro.bench.cli run --quick --label smoke --out $(RESULTS)-bench/BENCH_smoke.json
+	$(PY) -m repro.bench.cli compare benchmarks/BENCH_seed.json $(RESULTS)-bench/BENCH_smoke.json
+	rm -rf $(RESULTS)-bench
+	@echo "bench-smoke: no benchmark regressed beyond the noise-adjusted 25% gate"
+
+## Rewrite the committed baseline from a quick run on this machine.
+bench-baseline:
+	$(PY) -m repro.bench.cli run --quick --label seed --out benchmarks/BENCH_seed.json
+
+## Behaviour-equivalence gate for interpreter optimizations: recompute
+## experiment/corpus/trace digests and require byte-identical results
+## against benchmarks/GOLDEN.json (full tier, several minutes).  Run this
+## before committing any change to cpu/, core/ or mem/ hot paths.
+equivalence-check:
+	$(PY) -m repro.bench.equivalence --golden benchmarks/GOLDEN.json
 
 clean-cache:
 	rm -rf .repro-cache .repro-corpus

@@ -1,0 +1,159 @@
+"""Schema-versioned benchmark artifacts (``BENCH_<label>.json``).
+
+An artifact is one ``repro-bench run``'s results plus enough provenance
+to interpret them later (schema version, label, iteration mode, python
+version).  Artifacts are written with
+:func:`repro.runtime.atomic.atomic_write_json` — same crash-safety and
+canonical formatting as experiment artifacts — and compared with a
+noise-aware threshold: a benchmark only counts as regressed when its
+best-of-N throughput drops more than ``threshold`` *and* more than the
+measured spread of either artifact, so a noisy box cannot fail CI on its
+own.
+"""
+
+from __future__ import annotations
+
+import platform
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.bench.timing import Measurement
+from repro.errors import ArtifactError
+from repro.runtime.atomic import atomic_write_json
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchComparison",
+    "compare_artifacts",
+    "load_artifact",
+    "make_artifact",
+    "write_artifact",
+]
+
+#: Bump on any incompatible change to the artifact layout.
+BENCH_SCHEMA = "repro-bench/v1"
+
+#: Default regression threshold for ``repro-bench compare`` and the
+#: ``make bench-smoke`` gate: fail when throughput drops more than 25%.
+DEFAULT_THRESHOLD = 0.25
+
+
+def make_artifact(
+    measurements: list[Measurement], *, label: str, quick: bool
+) -> dict[str, Any]:
+    """Assemble the artifact payload for one benchmark run."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "label": label,
+        "quick": quick,
+        "python": platform.python_version(),
+        "benchmarks": {m.name: m.to_dict() for m in measurements},
+    }
+
+
+def write_artifact(path: Path | str, payload: dict[str, Any]) -> None:
+    atomic_write_json(Path(path), payload)
+
+
+def load_artifact(path: Path | str) -> dict[str, Any]:
+    """Read and validate a ``BENCH_*.json`` artifact."""
+    import json
+
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise ArtifactError(f"benchmark artifact not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"benchmark artifact {path} is not valid JSON: {exc}")
+    if not isinstance(payload, dict) or payload.get("schema") != BENCH_SCHEMA:
+        raise ArtifactError(
+            f"benchmark artifact {path} has schema "
+            f"{payload.get('schema')!r}, expected {BENCH_SCHEMA!r}"
+        )
+    if not isinstance(payload.get("benchmarks"), dict):
+        raise ArtifactError(f"benchmark artifact {path} has no benchmarks table")
+    return payload
+
+
+@dataclass(frozen=True)
+class BenchComparison:
+    """Per-benchmark outcome of ``compare_artifacts``.
+
+    ``ratio`` is new/old throughput (>1 means faster).  ``regressed``
+    applies the noise-aware rule described in the module docstring;
+    benchmarks present on only one side have ``ratio`` ``None`` and never
+    regress (they are reported so the caller can see coverage drift).
+    """
+
+    name: str
+    unit: str
+    old_ops_per_s: float | None
+    new_ops_per_s: float | None
+    ratio: float | None
+    regressed: bool
+
+    def format_row(self) -> str:
+        def fmt(v: float | None) -> str:
+            return f"{v:,.0f}" if v is not None else "-"
+
+        ratio = f"{self.ratio:.2f}x" if self.ratio is not None else "-"
+        flag = "  REGRESSED" if self.regressed else ""
+        return (
+            f"{self.name:<26} {fmt(self.old_ops_per_s):>14} "
+            f"{fmt(self.new_ops_per_s):>14} {ratio:>8}{flag}"
+        )
+
+
+def compare_artifacts(
+    old: dict[str, Any],
+    new: dict[str, Any],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> list[BenchComparison]:
+    """Compare two artifacts benchmark by benchmark.
+
+    The regression rule: ``new`` is regressed on a benchmark when its
+    best-of-N throughput is below ``old``'s by more than ``threshold``,
+    *and* the drop exceeds both runs' measured spread (so a drop that is
+    within observed run-to-run noise does not fail).  Comparing a quick
+    artifact against a full one is allowed — throughput is
+    per-second, so iteration counts cancel — but the quick flags are
+    carried in the artifacts for the reader.
+    """
+    rows: list[BenchComparison] = []
+    old_b = old["benchmarks"]
+    new_b = new["benchmarks"]
+    for name in sorted(set(old_b) | set(new_b)):
+        o, n = old_b.get(name), new_b.get(name)
+        if o is None or n is None:
+            present = n or o
+            rows.append(
+                BenchComparison(
+                    name=name,
+                    unit=present.get("unit", "ops"),
+                    old_ops_per_s=o and o["ops_per_s"],
+                    new_ops_per_s=n and n["ops_per_s"],
+                    ratio=None,
+                    regressed=False,
+                )
+            )
+            continue
+        old_ops = float(o["ops_per_s"])
+        new_ops = float(n["ops_per_s"])
+        ratio = new_ops / old_ops if old_ops > 0 else None
+        drop = 1.0 - (ratio if ratio is not None else 1.0)
+        noise = max(float(o.get("spread", 0.0)), float(n.get("spread", 0.0)))
+        regressed = ratio is not None and drop > threshold and drop > noise
+        rows.append(
+            BenchComparison(
+                name=name,
+                unit=n.get("unit", "ops"),
+                old_ops_per_s=old_ops,
+                new_ops_per_s=new_ops,
+                ratio=ratio,
+                regressed=regressed,
+            )
+        )
+    return rows

@@ -1,0 +1,98 @@
+"""Measurement harness for short, deterministic Python workloads.
+
+The benchmarks in :mod:`repro.bench.micro` are pure simulation — no I/O,
+no network — so their noise comes from the OS scheduler, allocator state
+and CPU frequency, all of which only ever make a run *slower* than the
+code's true cost.  The standard estimator for that noise model is
+**best-of-N**: run the workload ``repeats`` times and report the fastest
+repetition's throughput (this is what ``timeit`` does and why).  The
+median and spread are kept alongside so a comparison can tell a real
+regression from a noisy box — see
+:func:`repro.bench.artifact.compare_artifacts`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["Measurement", "measure"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Timing summary of one benchmark.
+
+    ``ops_per_s`` is the throughput of the *fastest* repetition
+    (best-of-N); ``median_ops_per_s`` the middle one.  ``spread`` is
+    ``(best - worst) / best`` over the repetitions' throughputs — a
+    unitless read of how noisy the measurement was (0.05 means the
+    slowest repetition ran 5% below the best).
+    """
+
+    name: str
+    unit: str
+    ops_per_s: float
+    median_ops_per_s: float
+    spread: float
+    repeats: int
+    units_per_rep: float
+    best_s: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "unit": self.unit,
+            "ops_per_s": round(self.ops_per_s, 3),
+            "median_ops_per_s": round(self.median_ops_per_s, 3),
+            "spread": round(self.spread, 4),
+            "repeats": self.repeats,
+            "units_per_rep": self.units_per_rep,
+            "best_s": round(self.best_s, 6),
+        }
+
+
+def measure(
+    name: str,
+    fn: Callable[[], float],
+    *,
+    unit: str = "ops",
+    repeats: int = 5,
+    warmup: int = 1,
+) -> Measurement:
+    """Time ``fn`` (which returns the units of work it performed).
+
+    ``warmup`` untimed calls run first so one-time costs (imports, decode
+    caches, predictor training, allocator growth) do not contaminate the
+    timed repetitions — those costs are real, but they are paid once per
+    process, not once per workload, and the benchmarks target steady
+    state.  Workloads with persistent microarchitectural state may do
+    marginally different unit counts per repetition; throughput is
+    therefore computed per repetition, not from a shared unit count.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(max(0, warmup)):
+        fn()
+    samples: list[tuple[float, float]] = []  # (ops/s, elapsed)
+    units = 0.0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        units = float(fn())
+        elapsed = time.perf_counter() - started
+        samples.append((units / elapsed if elapsed > 0 else 0.0, elapsed))
+    by_ops = sorted(samples, reverse=True)
+    best_ops, best_s = by_ops[0]
+    median_ops = by_ops[len(by_ops) // 2][0]
+    worst_ops = by_ops[-1][0]
+    spread = (best_ops - worst_ops) / best_ops if best_ops > 0 else 0.0
+    return Measurement(
+        name=name,
+        unit=unit,
+        ops_per_s=best_ops,
+        median_ops_per_s=median_ops,
+        spread=spread,
+        repeats=repeats,
+        units_per_rep=units,
+        best_s=best_s,
+    )

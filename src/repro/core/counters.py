@@ -121,12 +121,15 @@ class SaturatingCounter:
         return f"SaturatingCounter({self._value}, max={self.maximum})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CounterState:
     """An immutable snapshot of the five predictor counters.
 
     The state machine transition function consumes and produces values of
     this type.  All constructors clamp, so any ``CounterState`` is valid.
+    (``slots=True`` because predictor updates allocate one of these per
+    store-load pair — the hottest allocation in the simulator after the
+    pipeline's own records.)
     """
 
     c0: int = 0
@@ -136,11 +139,19 @@ class CounterState:
     c4: int = 0
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "c0", clamp(self.c0, 0, C0_MAX))
-        object.__setattr__(self, "c1", clamp(self.c1, 0, C1_MAX))
-        object.__setattr__(self, "c2", clamp(self.c2, 0, C2_MAX))
-        object.__setattr__(self, "c3", clamp(self.c3, 0, C3_MAX))
-        object.__setattr__(self, "c4", clamp(self.c4, 0, C4_MAX))
+        # In-range values (the overwhelmingly common case: every TABLE I
+        # transition moves counters by small steps) skip the frozen-slot
+        # rewrite entirely; only out-of-range fields pay a __setattr__.
+        if not 0 <= self.c0 <= C0_MAX:
+            object.__setattr__(self, "c0", clamp(self.c0, 0, C0_MAX))
+        if not 0 <= self.c1 <= C1_MAX:
+            object.__setattr__(self, "c1", clamp(self.c1, 0, C1_MAX))
+        if not 0 <= self.c2 <= C2_MAX:
+            object.__setattr__(self, "c2", clamp(self.c2, 0, C2_MAX))
+        if not 0 <= self.c3 <= C3_MAX:
+            object.__setattr__(self, "c3", clamp(self.c3, 0, C3_MAX))
+        if not 0 <= self.c4 <= C4_MAX:
+            object.__setattr__(self, "c4", clamp(self.c4, 0, C4_MAX))
 
     def with_updates(self, **changes: int) -> "CounterState":
         """Return a copy with the given counters replaced (and clamped)."""

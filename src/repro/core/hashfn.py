@@ -28,6 +28,8 @@ collision structure and strands previously found collisions.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 __all__ = [
     "HASH_BITS",
     "IPA_BITS",
@@ -67,12 +69,18 @@ def _keyed_mix(value: int, salt: int) -> int:
     return x & _IPA_MASK
 
 
+@lru_cache(maxsize=1 << 16)
 def ipa_hash(ipa: int, salt: int = 0) -> int:
     """Compress a 48-bit IPA into the 12-bit predictor selector.
 
     ``salt = 0`` is the hardware hash the paper recovered (a pure XOR
     fold); a non-zero salt models the randomized-selection mitigation
     (keyed non-linear mix before the fold).
+
+    The fold is a pure function of ``(ipa, salt)`` and the pipeline
+    re-hashes the same handful of store/load IPAs on every one of the
+    thousands of runs an experiment performs, so results are memoized
+    (an LRU large enough that a campaign's working set never cycles).
 
     >>> ipa_hash(0)
     0

@@ -57,7 +57,7 @@ class StateName(enum.Enum):
     S2_PSF_DISABLED = "sq-psf-disabled-s2"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Prediction:
     """What the predictors will do for the next store-load pair."""
 

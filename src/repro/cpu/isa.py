@@ -36,6 +36,29 @@ __all__ = [
     "Pad",
     "Halt",
     "Program",
+    "DecodedProgram",
+    "OP_LABEL",
+    "OP_PAD",
+    "OP_MOVIMM",
+    "OP_MOV",
+    "OP_ALU",
+    "OP_ALUIMM",
+    "OP_IMUL",
+    "OP_IMULIMM",
+    "OP_LOAD",
+    "OP_STORE",
+    "OP_CLFLUSH",
+    "OP_MFENCE",
+    "OP_RDPRU",
+    "OP_JZ",
+    "OP_HALT",
+    "OP_UNKNOWN",
+    "ALU_ADD",
+    "ALU_SUB",
+    "ALU_XOR",
+    "ALU_AND",
+    "ALU_OR",
+    "ALU_BAD",
     "instruction_from_repr",
     "instructions_from_reprs",
 ]
@@ -203,6 +226,136 @@ def instructions_from_reprs(reprs: list[str]) -> list[Instruction]:
     return [instruction_from_repr(text) for text in reprs]
 
 
+# ----------------------------------------------------------------------
+# Dense decoded form
+# ----------------------------------------------------------------------
+# Integer opcodes for the interpreter's dispatch (one per instruction
+# class).  The pipeline compares these instead of running an isinstance
+# chain — the single hottest comparison in the simulator.
+(
+    OP_LABEL,
+    OP_PAD,
+    OP_MOVIMM,
+    OP_MOV,
+    OP_ALU,
+    OP_ALUIMM,
+    OP_IMUL,
+    OP_IMULIMM,
+    OP_LOAD,
+    OP_STORE,
+    OP_CLFLUSH,
+    OP_MFENCE,
+    OP_RDPRU,
+    OP_JZ,
+    OP_HALT,
+    OP_UNKNOWN,
+) = range(16)
+
+#: ALU sub-opcodes; ``ALU_BAD`` marks an op string the decoder does not
+#: know.  The error is deliberately deferred to *execution* of that
+#: instruction (matching the un-decoded interpreter), so decoding never
+#: rejects a program whose bad instruction is unreachable.
+ALU_ADD, ALU_SUB, ALU_XOR, ALU_AND, ALU_OR, ALU_BAD = range(6)
+
+_ALU_CODES = {
+    "add": ALU_ADD,
+    "sub": ALU_SUB,
+    "xor": ALU_XOR,
+    "and": ALU_AND,
+    "or": ALU_OR,
+}
+
+_OPCODES: dict[type, int] = {
+    Label: OP_LABEL,
+    Pad: OP_PAD,
+    MovImm: OP_MOVIMM,
+    Mov: OP_MOV,
+    Alu: OP_ALU,
+    AluImm: OP_ALUIMM,
+    Imul: OP_IMUL,
+    ImulImm: OP_IMULIMM,
+    Load: OP_LOAD,
+    Store: OP_STORE,
+    Clflush: OP_CLFLUSH,
+    Mfence: OP_MFENCE,
+    Rdpru: OP_RDPRU,
+    Jz: OP_JZ,
+    Halt: OP_HALT,
+}
+
+
+@dataclass(slots=True)
+class DecodedProgram:
+    """A :class:`Program` pre-decoded into parallel dense arrays.
+
+    Built once per program (see :meth:`Program.decoded`) and then reused
+    across the thousands of repeated runs an experiment performs.  Layout
+    (all lists are indexed by instruction position):
+
+    * ``ops[i]`` — the ``OP_*`` integer opcode;
+    * ``args[i]`` — a per-opcode operand tuple (see :func:`_decode_args`);
+    * ``names[i]`` — the instruction class name (trace events);
+    * ``insts[i]`` — the original instruction object (error messages);
+    * ``ivas[i]`` — the instruction virtual address.
+
+    The decoded form carries no execution state; it is immutable in
+    practice and safely shared by concurrent interpreter states (SMT).
+    """
+
+    ops: list[int]
+    args: list[tuple]
+    names: list[str]
+    insts: list[Instruction]
+    ivas: list[int]
+    n: int
+
+
+def _decode_args(instruction: Instruction, labels: dict[str, int]) -> tuple:
+    """Operand tuple for one instruction (layouts per opcode).
+
+    ``Jz`` targets resolve to an instruction index here; an unknown label
+    decodes to ``None`` and raises only if the branch actually executes —
+    identical to the lazy lookup the un-decoded interpreter performed.
+    Unknown ALU op strings decode to ``ALU_BAD`` the same way.
+    """
+    cls = type(instruction)
+    if cls is MovImm:
+        return (instruction.dst, instruction.value)
+    if cls is Mov:
+        return (instruction.dst, instruction.src)
+    if cls is Alu:
+        return (
+            instruction.dst,
+            instruction.a,
+            instruction.b,
+            _ALU_CODES.get(instruction.op, ALU_BAD),
+            instruction.op,
+        )
+    if cls is AluImm:
+        return (
+            instruction.dst,
+            instruction.src,
+            instruction.imm,
+            _ALU_CODES.get(instruction.op, ALU_BAD),
+            instruction.op,
+        )
+    if cls is Imul:
+        return (instruction.dst, instruction.a, instruction.b)
+    if cls is ImulImm:
+        return (instruction.dst, instruction.src, instruction.imm)
+    if cls is Load:
+        return (instruction.dst, instruction.base, instruction.offset, instruction.width)
+    if cls is Store:
+        return (instruction.base, instruction.src, instruction.offset, instruction.width)
+    if cls is Clflush:
+        return (instruction.base, instruction.offset)
+    if cls is Rdpru:
+        return (instruction.dst,)
+    if cls is Jz:
+        return (instruction.cond, labels.get(instruction.label), instruction.label)
+    return ()
+
+
 @dataclass
 class Program:
     """An assembled instruction sequence with label resolution.
@@ -219,6 +372,11 @@ class Program:
     name: str = "program"
     _ivas: list[int] = field(default_factory=list, repr=False)
     _labels: dict[str, int] = field(default_factory=dict, repr=False)
+    _decoded: "DecodedProgram | None" = field(
+        default=None, repr=False, compare=False
+    )
+    _decoded_src: "tuple | None" = field(default=None, repr=False, compare=False)
+    _decoded_base: "int | None" = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self._layout()
@@ -238,6 +396,46 @@ class Program:
     def relocate(self, base_iva: int) -> "Program":
         """A copy of this program laid out at a different base address."""
         return Program(list(self.instructions), base_iva, self.name)
+
+    def decoded(self) -> DecodedProgram:
+        """The dense decoded form, cached on the instance.
+
+        The cache key is the program *content* — the instruction sequence
+        and base address (the same inputs :func:`repro.experiments.cache.
+        content_key` would hash) — so mutating ``instructions`` in place
+        or rebinding ``base_iva`` invalidates the cache and triggers a
+        re-layout + re-decode; returning the same objects hits.  The
+        content check is an element-wise tuple comparison, which
+        short-circuits on object identity, so a cache hit costs one
+        O(n) pointer sweep rather than a full re-decode.
+        """
+        src = tuple(self.instructions)
+        if (
+            self._decoded is not None
+            and self._decoded_base == self.base_iva
+            and self._decoded_src == src
+        ):
+            return self._decoded
+        self._layout()  # re-derive IVAs/labels in case of in-place mutation
+        labels = self._labels
+        ops = []
+        args = []
+        names = []
+        for instruction in src:
+            ops.append(_OPCODES.get(type(instruction), OP_UNKNOWN))
+            args.append(_decode_args(instruction, labels))
+            names.append(type(instruction).__name__)
+        self._decoded = DecodedProgram(
+            ops=ops,
+            args=args,
+            names=names,
+            insts=list(src),
+            ivas=list(self._ivas),
+            n=len(src),
+        )
+        self._decoded_src = src
+        self._decoded_base = self.base_iva
+        return self._decoded
 
     def iva(self, index: int) -> int:
         """Instruction virtual address of the instruction at ``index``."""

@@ -22,6 +22,22 @@ Spectre-CTL covert channel.
 
 Branch mispredictions and faulting loads open windows through the same
 rollback machinery (used by the Section IV-D experiments).
+
+Performance notes (docs/performance.md has the full story):
+
+* Programs are interpreted from their pre-decoded dense form
+  (:meth:`repro.cpu.isa.Program.decoded`) — integer opcode dispatch
+  instead of an isinstance chain, built once and reused across the
+  thousands of repeated runs every experiment performs.
+* Rollback state is a **delta journal**, not a register-file copy: while
+  any rollback point is live, every register write appends an undo
+  record, and a squash replays the journal backwards to the rollback
+  point's mark (see :class:`_Snapshot`).  Outside speculation the
+  journal is empty and writes pay one integer check.
+* The equivalence gate (:mod:`repro.bench.equivalence`) pins this
+  machinery: any observable divergence from the pre-optimization
+  interpreter — registers, memory, cycle counts, trace events — fails
+  the gate byte-for-byte.
 """
 
 from __future__ import annotations
@@ -34,22 +50,27 @@ from repro.core.hashfn import ipa_hash
 from repro.core.state_machine import Prediction
 from repro.cpu.core import Core
 from repro.cpu.isa import (
-    Alu,
-    AluImm,
-    Clflush,
-    Halt,
-    Imul,
-    ImulImm,
-    Jz,
-    Label,
-    Load,
-    Mfence,
-    Mov,
-    MovImm,
-    Pad,
+    OP_ALU,
+    OP_ALUIMM,
+    OP_CLFLUSH,
+    OP_HALT,
+    OP_IMUL,
+    OP_IMULIMM,
+    OP_JZ,
+    OP_LABEL,
+    OP_LOAD,
+    OP_MFENCE,
+    OP_MOV,
+    OP_MOVIMM,
+    OP_PAD,
+    OP_RDPRU,
+    OP_STORE,
+    ALU_ADD,
+    ALU_AND,
+    ALU_OR,
+    ALU_SUB,
+    ALU_XOR,
     Program,
-    Rdpru,
-    Store,
 )
 from repro.cpu.pmc import PmcEvent
 from repro.cpu.thread import HardwareThread
@@ -94,11 +115,19 @@ FAULT_WINDOW = 30
 #: * ``skip-store-squash`` — a squash stops dropping younger store-queue
 #:   entries, so wrong-path stores can commit to memory.
 #:
-#: Production code must never populate this set.
+#: Production code must never populate this set, and hooks must stay
+#: armed for *whole runs* (the :func:`repro.fuzz.harness.chaos` context
+#: manager wraps complete executions): with ``skip-register-repair``
+#: armed, skipped rollbacks discard their undo records, so repair cannot
+#: be meaningfully re-enabled midway through a run.
 CHAOS_HOOKS: set[str] = set()
 
+#: Journal sentinel: the register/ready slot did not exist before the
+#: journaled write (undo = delete the key).
+_ABSENT = object()
 
-@dataclass
+
+@dataclass(slots=True)
 class _SpecLoad:
     """A load that executed against an unresolved store."""
 
@@ -112,8 +141,10 @@ class _SpecLoad:
     prediction: Prediction
     truth: bool
     covers: bool
-    #: Snapshot to restore if this load's speculation squashes, or None
-    #: when the speculation is known-benign (stall paths).
+    #: Rollback point to restore if this load's speculation squashes, or
+    #: None when the speculation is known-benign (stall paths).  Shared
+    #: with this load's guard records on other store entries — the object
+    #: is refcounted (:attr:`_Snapshot.refs`), not copied.
     snapshot: "_Snapshot | None"
     #: An alias guard: the load read around this (non-nearest) unresolved
     #: store and the addresses overlap — a memory-ordering squash with no
@@ -121,15 +152,44 @@ class _SpecLoad:
     guard: bool = False
 
 
-@dataclass
 class _Snapshot:
-    regs: dict[str, int]
-    ready: dict[str, int]
-    index: int
-    retired: int
+    """A rollback point into the register delta journal.
+
+    Semantics (the delta-journal invariants — enforced in
+    :meth:`_ExecState._restore` and pinned by the property test in
+    ``tests/cpu/test_journal_equivalence.py``):
+
+    * ``mark`` is the journal length when the rollback point was taken.
+      Restoring replays journal entries *newest-first* down to ``mark``
+      (reinstating each register's and ready-cycle's prior value, or
+      deleting slots that did not exist), then truncates the journal to
+      ``mark``.  Because register slots are only ever added or
+      overwritten between snapshot and restore — never deleted — this
+      reproduces the old full-copy restore exactly, including dict
+      insertion order.
+    * Restores only ever travel *backwards*: whenever a restore to
+      ``mark`` happens, every other live snapshot's mark is <= ``mark``
+      (younger rollback points die in the same squash, via
+      ``_train_squashed_records``), so truncation never strands a live
+      mark.  The same snapshot object may be restored again later — the
+      journal simply regrows from its mark.
+    * ``refs`` counts the holders (the speculated-load record, its alias
+      guards on other store entries, or a transient window).  The
+      executor journals register writes only while at least one snapshot
+      is live and clears the journal when the last one dies, so straight-
+      line execution pays one integer check per write and no copies.
+    """
+
+    __slots__ = ("mark", "index", "retired", "refs")
+
+    def __init__(self, mark: int, index: int, retired: int) -> None:
+        self.mark = mark
+        self.index = index
+        self.retired = retired
+        self.refs = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class _TransientWindow:
     """A branch-mispredict or pending-fault wrong-path context."""
 
@@ -140,7 +200,7 @@ class _TransientWindow:
     fault: SegmentationFault | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StldEvent:
     """One resolved store-load interaction (for tests and experiments)."""
 
@@ -219,7 +279,12 @@ class Pipeline:
 
     def attach_tracer(self, tracer) -> None:
         """Route this pipeline's (and its predictor unit's) events to
-        ``tracer``; ``None`` detaches."""
+        ``tracer``; ``None`` detaches.
+
+        Takes effect for executions started *after* the call — an
+        in-flight :class:`_ExecState` keeps the tracer it was built with,
+        so a run's event stream is always all-or-nothing.
+        """
         self.trace = tracer
         self.thread.unit.trace = tracer
         self.thread.unit.trace_thread = self.thread.thread_id
@@ -236,7 +301,10 @@ class Pipeline:
         The hardware thread's cycle counter advances by the program's
         execution time, so back-to-back runs model back-to-back calls of
         a measured routine while microarchitectural state (predictors,
-        caches, branch counters) persists between them.
+        caches, branch counters) persists between them.  Repeated runs of
+        the same ``program`` object reuse its cached decoded form
+        (:meth:`repro.cpu.isa.Program.decoded`); ``regs`` is copied, so
+        the caller's dict is never mutated.
         """
         state = _ExecState(self, process, program, dict(regs or {}))
         result = state.execute(max_steps)
@@ -254,8 +322,16 @@ class Pipeline:
         program: Program,
         regs: dict[str, int] | None = None,
     ) -> "_ExecState":
-        """Start a steppable execution (see :meth:`_ExecState.step`);
-        callers drive it and account thread cycles from the final result."""
+        """Start a steppable execution (see :meth:`_ExecState.step`).
+
+        Unlike :meth:`run`, the caller drives the execution — one
+        :meth:`_ExecState.step` per scheduling decision until it returns
+        False — then collects :meth:`_ExecState.finalize` and accounts
+        thread cycles from the result.  The SMT runner interleaves two
+        hardware threads this way; each state owns its thread's store
+        queue and rollback journal, so interleaved states never share
+        mutable interpreter state.
+        """
         return _ExecState(self, process, program, dict(regs or {}))
 
     # Branch prediction: 2-bit saturating direction counters.
@@ -268,7 +344,13 @@ class Pipeline:
 
 
 class _ExecState:
-    """Mutable interpreter state for one program run."""
+    """Mutable interpreter state for one program run.
+
+    Collaborator attributes (store queue, memory, hierarchy, PMC,
+    predictor unit, hash salt) are bound once at construction — they are
+    stable for the lifetime of a run, and the per-step hot paths below
+    read the locals instead of re-walking ``self.thread.…`` chains.
+    """
 
     def __init__(
         self,
@@ -284,6 +366,7 @@ class _ExecState:
         self.lat = pipeline.lat
         self.process = process
         self.program = program
+        self.dec = program.decoded()
         self.regs = regs
         self.ready: dict[str, int] = {}
         self.index = 0
@@ -295,6 +378,22 @@ class _ExecState:
         self.halted = False
         self.trace = pipeline.trace
         self.tid = pipeline.thread.thread_id
+        # Hot-path collaborator bindings (stable for the whole run).
+        self.sq = pipeline.thread.store_queue
+        self.sq_entries = self.sq.live_entries()  # identity-stable list
+        self.memory = pipeline.core.memory
+        self.hierarchy = pipeline.core.hierarchy
+        self.pmc = pipeline.thread.pmc
+        # Raw counter bank: the per-dispatch ITLB event is incremented
+        # directly (equivalent to Pmc.add, minus the call overhead).
+        self._pmcc = self.pmc.counts
+        self.unit = pipeline.thread.unit
+        self.salt = self.unit.hash_salt
+        # Register delta journal (see _Snapshot): undo records appended
+        # by _set_reg while any rollback point is live.
+        self._journal: list[tuple] = []
+        self._jlive = 0      # live _Snapshot objects
+        self._nrec = 0       # _SpecLoad records attached to store entries
 
     # ------------------------------------------------------------------
     # Small helpers
@@ -306,58 +405,89 @@ class _ExecState:
         return max((self.ready.get(name, 0) for name in names), default=0)
 
     def _set_reg(self, name: str, value: int, ready: int) -> None:
+        """The single register-write point: journals the previous slot
+        values while any rollback point is live (delta journal)."""
+        if self._jlive:
+            self._journal.append(
+                (name, self.regs.get(name, _ABSENT), self.ready.get(name, _ABSENT))
+            )
         self.regs[name] = value & _U64
         self.ready[name] = ready
 
     def _snapshot(self) -> _Snapshot:
-        return _Snapshot(
-            regs=dict(self.regs),
-            ready=dict(self.ready),
-            index=self.index,
-            retired=self.retired,
-        )
+        """Open a rollback point at the current journal position."""
+        self._jlive += 1
+        return _Snapshot(len(self._journal), self.index, self.retired)
+
+    def _deref(self, snap: _Snapshot) -> None:
+        """Drop one holder of ``snap``; the journal is cleared when the
+        last rollback point dies (non-speculative fast path resumes)."""
+        snap.refs -= 1
+        if snap.refs == 0:
+            self._jlive -= 1
+            if self._jlive == 0:
+                self._journal.clear()
 
     def _restore(self, snap: _Snapshot) -> None:
+        """Rewind registers to ``snap`` by undoing journal entries.
+
+        Entries above the snapshot's mark are applied newest-first —
+        reinstating overwritten values and deleting slots created after
+        the snapshot — then discarded.  See :class:`_Snapshot` for why
+        this is exactly equivalent to restoring a full register-file
+        copy.  Under the ``skip-register-repair`` chaos hook the undo is
+        skipped (wrong-path values survive) but the journal is still
+        truncated, matching the old behaviour of discarding the copy.
+        """
+        journal = self._journal
+        mark = snap.mark
         if "skip-register-repair" not in CHAOS_HOOKS:
-            self.regs.clear()
-            self.regs.update(snap.regs)
-            self.ready = dict(snap.ready)
+            regs = self.regs
+            ready = self.ready
+            for pos in range(len(journal) - 1, mark - 1, -1):
+                name, old_reg, old_ready = journal[pos]
+                if old_reg is _ABSENT:
+                    del regs[name]
+                else:
+                    regs[name] = old_reg
+                if old_ready is _ABSENT:
+                    del ready[name]
+                else:
+                    ready[name] = old_ready
+        del journal[mark:]
         self.index = snap.index
         self.retired = snap.retired
 
     def _squash_stores(self, seq: int) -> None:
         if "skip-store-squash" not in CHAOS_HOOKS:
-            self.thread.store_queue.squash_younger(seq)
+            self.sq.squash_younger(seq)
 
     def _translate(self, vaddr: int, access: Perm) -> int:
         return self.kernel.translate(self.process, vaddr, access, self.thread)
 
     def _ipa_of_instruction(self, index: int) -> int:
-        iva = self.program.iva(index)
+        iva = self.dec.ivas[index]
         paddr = self.process.address_space.translate_nofault(iva)
         if paddr is None:
             raise SegmentationFault(iva, access="execute")
         return paddr
 
     def _hash(self, ipa: int) -> int:
-        return ipa_hash(ipa, self.thread.unit.hash_salt)
+        return ipa_hash(ipa, self.salt)
 
     def _in_speculative_context(self) -> bool:
-        if self.window is not None:
-            return True
-        return any(
-            record.snapshot is not None
-            for entry in self.thread.store_queue.entries()
-            for record in entry.speculated_loads
-        )
+        # O(1): _jlive counts live rollback points, which exist exactly
+        # while some speculated-load record or window could still squash.
+        return self.window is not None or self._jlive > 0
 
     def _sq_horizon(self) -> int:
-        entries = self.thread.store_queue.entries()
-        return max(
-            [self.dispatch]
-            + [e.addr_ready for e in entries]
-            + [e.data_ready for e in entries]
-        )
+        horizon = self.dispatch
+        for entry in self.sq_entries:
+            if entry.addr_ready > horizon:
+                horizon = entry.addr_ready
+            if entry.data_ready > horizon:
+                horizon = entry.data_ready
+        return horizon
 
     def _noisy(self, cycles: int) -> int:
         noise = self.core.model.timer_noise
@@ -378,8 +508,10 @@ class _ExecState:
         forward; a bypassing load reads around them — the stale read that
         Spectre-CTL exploits.
         """
-        data = bytearray(self.core.memory.read(paddr, width))
-        for entry in self.thread.store_queue.older_than(seq):
+        data = bytearray(self.memory.read(paddr, width))
+        for entry in self.sq_entries:
+            if entry.seq >= seq or entry.committed:
+                continue
             if not include_unresolved and entry.addr_ready > now:
                 continue
             if entry.overlaps(paddr, width):
@@ -399,13 +531,14 @@ class _ExecState:
     # ------------------------------------------------------------------
     def execute(self, max_steps: int) -> RunResult:
         steps = 0
+        step = self.step
         while not self.halted:
             steps += 1
             if steps > max_steps:
                 raise SimulationLimitExceeded(
                     f"program {self.program.name!r} exceeded {max_steps} steps"
                 )
-            self.step()
+            step()
         return self.finalize()
 
     def step(self) -> bool:
@@ -416,24 +549,28 @@ class _ExecState:
         """
         if self.halted:
             return False
-        if self.window is not None and (
-            self.dispatch >= self.window.stop or self.index >= len(self.program)
+        window = self.window
+        if window is not None and (
+            self.dispatch >= window.stop or self.index >= self.dec.n
         ):
             self._close_window()
             return not self.halted
-        if self._resolve_stores(self.dispatch):
+        # With an empty store queue _resolve_stores is a no-op (nothing to
+        # train, nothing to commit) — skip the call on the ALU-only fast
+        # path.  sq_entries is the live list, so emptiness is current.
+        if self.sq_entries and self._resolve_stores(self.dispatch):
             return True  # a squash rewound the state
-        if self.index >= len(self.program):
+        if self.index >= self.dec.n:
             if not self._quiesce():
                 self.halted = True
             return not self.halted
-        self._dispatch_one(self.program.instructions[self.index])
+        self._dispatch_one(self.index)
         return not self.halted
 
     def finalize(self) -> RunResult:
         frontier = max([self.dispatch] + list(self.ready.values()) + [self._sq_horizon()])
-        self.thread.store_queue.drain(self.core.memory)
-        self.thread.pmc.add(PmcEvent.RETIRED_OPS, self.retired)
+        self.sq.drain(self.memory)
+        self.pmc.add(PmcEvent.RETIRED_OPS, self.retired)
         self.result.cycles = frontier
         self.result.retired = self.retired
         return self.result
@@ -450,198 +587,246 @@ class _ExecState:
         horizon = self._sq_horizon()
         if self._resolve_stores(horizon):
             return True
-        self.dispatch = max(self.dispatch, horizon)
-        self.thread.store_queue.commit_ready(
-            self.core.memory, self.dispatch, self._commit_ceiling()
-        )
+        if horizon > self.dispatch:
+            self.dispatch = horizon
+        self.sq.commit_ready(self.memory, self.dispatch, self._commit_ceiling())
         return False
 
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    def _dispatch_one(self, instruction) -> None:
-        if isinstance(instruction, Label):
-            self.index += 1
+    def _dispatch_one(self, index: int) -> None:
+        dec = self.dec
+        op = dec.ops[index]
+        if op == OP_LABEL:
+            self.index = index + 1
             return  # zero-size, zero-time
-        self.thread.pmc.add(PmcEvent.ITLB_HIT_4K)
+        self._pmcc[PmcEvent.ITLB_HIT_4K] += 1
         d = self.dispatch
         if self.trace is not None:
             self.trace.emit(
                 DispatchEvent(
                     cycle=d,
                     thread=self.tid,
-                    index=self.index,
-                    op=type(instruction).__name__,
+                    index=index,
+                    op=dec.names[index],
                 )
             )
-        if isinstance(instruction, Halt):
+        args = dec.args[index]
+        # Opcode chain ordered roughly by dynamic frequency in the fuzz
+        # and experiment workloads (ALU/IMUL address-generation chains
+        # dominate, then memory ops).
+        if op == OP_ALU:
+            dst, a, b, code, opname = args
+            regs = self.regs
+            ready = self.ready
+            av = regs.get(a, 0)
+            bv = regs.get(b, 0)
+            start = d
+            ra = ready.get(a, 0)
+            if ra > start:
+                start = ra
+            rb = ready.get(b, 0)
+            if rb > start:
+                start = rb
+            if code == ALU_ADD:
+                value = av + bv
+            elif code == ALU_SUB:
+                value = av - bv
+            elif code == ALU_XOR:
+                value = av ^ bv
+            elif code == ALU_AND:
+                value = av & bv
+            elif code == ALU_OR:
+                value = av | bv
+            else:
+                raise InvalidInstruction(f"unknown ALU op {opname!r}")
+            self._set_reg(dst, value, start + self.lat.alu)
+        elif op == OP_ALUIMM:
+            dst, src, imm, code, opname = args
+            av = self.regs.get(src, 0)
+            start = d
+            rs = self.ready.get(src, 0)
+            if rs > start:
+                start = rs
+            if code == ALU_ADD:
+                value = av + imm
+            elif code == ALU_SUB:
+                value = av - imm
+            elif code == ALU_XOR:
+                value = av ^ imm
+            elif code == ALU_AND:
+                value = av & imm
+            elif code == ALU_OR:
+                value = av | imm
+            else:
+                raise InvalidInstruction(f"unknown ALU op {opname!r}")
+            self._set_reg(dst, value, start + self.lat.alu)
+        elif op == OP_IMUL:
+            dst, a, b = args
+            value = self.regs.get(a, 0) * self.regs.get(b, 0)
+            start = d
+            ra = self.ready.get(a, 0)
+            if ra > start:
+                start = ra
+            rb = self.ready.get(b, 0)
+            if rb > start:
+                start = rb
+            self._set_reg(dst, value, start + self.lat.imul)
+        elif op == OP_IMULIMM:
+            dst, src, imm = args
+            value = self.regs.get(src, 0) * imm
+            start = d
+            rs = self.ready.get(src, 0)
+            if rs > start:
+                start = rs
+            self._set_reg(dst, value, start + self.lat.imul)
+        elif op == OP_MOVIMM:
+            self._set_reg(args[0], args[1], d)
+        elif op == OP_MOV:
+            dst, src = args
+            rs = self.ready.get(src, 0)
+            self._set_reg(dst, self.regs.get(src, 0), rs if rs > d else d)
+        elif op == OP_LOAD:
+            self._exec_load(index, args, d)
+        elif op == OP_STORE:
+            self._exec_store(index, args, d)
+        elif op == OP_PAD:
+            pass
+        elif op == OP_JZ:
+            self._exec_branch(index, args, d)
+            return  # the branch manages index/dispatch itself
+        elif op == OP_HALT:
             if self.window is not None:
                 # A wrong path ran into Halt: fast-forward to the window's
                 # resolve point; the main loop will squash it.
-                self.dispatch = max(self.dispatch, self.window.stop)
+                if self.window.stop > self.dispatch:
+                    self.dispatch = self.window.stop
                 return
             self.retired += 1
             if self.trace is not None:
-                self._trace_commit(self.index, instruction, d)
+                self._trace_commit(index, dec.names[index], d)
             if not self._quiesce():
                 self.halted = True
             return
-        if isinstance(instruction, Jz):
-            self._exec_branch(instruction, d)
-            return  # the branch manages index/dispatch itself
-        if isinstance(instruction, Mfence):
+        elif op == OP_MFENCE:
             before = self.index
             self._exec_mfence()
             if self.index != before:
                 return  # a squash rewound us; the fence will re-execute
             self.retired += 1
             if self.trace is not None:
-                self._trace_commit(self.index, instruction, d)
-            self.index += 1
-            self.dispatch = max(self.dispatch, d + 1)
+                self._trace_commit(index, dec.names[index], d)
+            self.index = index + 1
+            if d + 1 > self.dispatch:
+                self.dispatch = d + 1
             return
-        if isinstance(instruction, Load):
-            self._exec_load(instruction, d)
-        elif isinstance(instruction, Store):
-            self._exec_store(instruction, d)
-        elif isinstance(instruction, Pad):
-            pass
-        elif isinstance(instruction, MovImm):
-            self._set_reg(instruction.dst, instruction.value, d)
-        elif isinstance(instruction, Mov):
-            self._set_reg(
-                instruction.dst,
-                self._reg(instruction.src),
-                max(d, self._ready_of(instruction.src)),
-            )
-        elif isinstance(instruction, (Alu, AluImm)):
-            self._exec_alu(instruction, d)
-        elif isinstance(instruction, (Imul, ImulImm)):
-            self._exec_imul(instruction, d)
-        elif isinstance(instruction, Rdpru):
-            frontier = max([d] + list(self.ready.values()))
-            self._set_reg(
-                instruction.dst, self.thread.cycles + self._noisy(frontier), d
-            )
-        elif isinstance(instruction, Clflush):
-            vaddr = (self._reg(instruction.base) + instruction.offset) & _U64
+        elif op == OP_RDPRU:
+            frontier = max(self.ready.values(), default=0)
+            if d > frontier:
+                frontier = d
+            self._set_reg(args[0], self.thread.cycles + self._noisy(frontier), d)
+        elif op == OP_CLFLUSH:
+            base, offset = args
+            vaddr = (self.regs.get(base, 0) + offset) & _U64
             paddr = self._translate(vaddr, Perm.R)
-            self.core.hierarchy.clflush(paddr)
+            self.hierarchy.clflush(paddr)
         else:
-            raise InvalidInstruction(f"unhandled instruction {instruction!r}")
+            raise InvalidInstruction(f"unhandled instruction {dec.insts[index]!r}")
         self.retired += 1
         if self.trace is not None:
-            self._trace_commit(self.index, instruction, d)
-        self.index += 1
+            self._trace_commit(index, dec.names[index], d)
+        self.index = index + 1
         self.dispatch = d + 1
 
-    def _trace_commit(self, index: int, instruction, cycle: int) -> None:
+    def _trace_commit(self, index: int, opname: str, cycle: int) -> None:
         self.trace.emit(
             CommitEvent(
                 cycle=cycle,
                 thread=self.tid,
                 index=index,
-                op=type(instruction).__name__,
+                op=opname,
                 retired=self.retired,
             )
         )
 
-    def _exec_alu(self, instruction, d: int) -> None:
-        if isinstance(instruction, Alu):
-            a, b = self._reg(instruction.a), self._reg(instruction.b)
-            start = max(d, self._ready_of(instruction.a, instruction.b))
-        else:
-            a, b = self._reg(instruction.src), instruction.imm
-            start = max(d, self._ready_of(instruction.src))
-        op = instruction.op
-        if op == "add":
-            value = a + b
-        elif op == "sub":
-            value = a - b
-        elif op == "xor":
-            value = a ^ b
-        elif op == "and":
-            value = a & b
-        elif op == "or":
-            value = a | b
-        else:
-            raise InvalidInstruction(f"unknown ALU op {op!r}")
-        self._set_reg(instruction.dst, value, start + self.lat.alu)
-
-    def _exec_imul(self, instruction, d: int) -> None:
-        if isinstance(instruction, Imul):
-            value = self._reg(instruction.a) * self._reg(instruction.b)
-            start = max(d, self._ready_of(instruction.a, instruction.b))
-        else:
-            value = self._reg(instruction.src) * instruction.imm
-            start = max(d, self._ready_of(instruction.src))
-        self._set_reg(instruction.dst, value, start + self.lat.imul)
-
     def _exec_mfence(self) -> None:
-        horizon = max(self._sq_horizon(), self._ready_of(*self.ready))
+        ready = self.ready
+        horizon = self._sq_horizon()
+        if ready:
+            frontier = max(ready.values())
+            if frontier > horizon:
+                horizon = frontier
         if self._resolve_stores(horizon):
             return
-        self.dispatch = max(self.dispatch, horizon)
-        self.thread.store_queue.commit_ready(
-            self.core.memory, self.dispatch, self._commit_ceiling()
-        )
+        if horizon > self.dispatch:
+            self.dispatch = horizon
+        self.sq.commit_ready(self.memory, self.dispatch, self._commit_ceiling())
 
     # ------------------------------------------------------------------
     # Stores
     # ------------------------------------------------------------------
-    def _exec_store(self, instruction: Store, d: int) -> None:
-        vaddr = (self._reg(instruction.base) + instruction.offset) & _U64
+    def _exec_store(self, index: int, args: tuple, d: int) -> None:
+        base, src, offset, width = args
+        regs = self.regs
+        ready = self.ready
+        vaddr = (regs.get(base, 0) + offset) & _U64
         paddr = self._translate(vaddr, Perm.W)
-        addr_ready = max(d, self._ready_of(instruction.base)) + self.lat.alu
-        data_ready = max(d, self._ready_of(instruction.src))
-        value = self._reg(instruction.src)
+        rb = ready.get(base, 0)
+        addr_ready = (rb if rb > d else d) + self.lat.alu
+        rs = ready.get(src, 0)
+        data_ready = rs if rs > d else d
+        value = regs.get(src, 0)
         self.seq += 1
-        self.thread.store_queue.push(
+        self.sq.push(
             StoreEntry(
                 seq=self.seq,
                 paddr=paddr,
-                size=instruction.width,
-                data=value.to_bytes(8, "little")[: instruction.width],
+                size=width,
+                data=value.to_bytes(8, "little")[:width],
                 addr_ready=addr_ready,
                 data_ready=data_ready,
-                store_ipa=self._ipa_of_instruction(self.index),
+                store_ipa=self._ipa_of_instruction(index),
             )
         )
 
     # ------------------------------------------------------------------
     # Loads
     # ------------------------------------------------------------------
-    def _exec_load(self, instruction: Load, d: int) -> None:
-        self.thread.pmc.add(PmcEvent.LD_DISPATCH)
-        vaddr = (self._reg(instruction.base) + instruction.offset) & _U64
-        addr_ready = max(d, self._ready_of(instruction.base)) + self.lat.alu
+    def _exec_load(self, index: int, args: tuple, d: int) -> None:
+        dst, base, offset, width = args
+        self._pmcc[PmcEvent.LD_DISPATCH] += 1
+        vaddr = (self.regs.get(base, 0) + offset) & _U64
+        rb = self.ready.get(base, 0)
+        addr_ready = (rb if rb > d else d) + self.lat.alu
         try:
             paddr = self._translate(vaddr, Perm.R)
         except SegmentationFault as fault:
-            self._faulting_load(instruction, addr_ready, fault)
+            self._faulting_load(dst, addr_ready, fault)
             return
 
         self.seq += 1
         load_seq = self.seq
-        pending = self.thread.store_queue.nearest_unresolved(load_seq, addr_ready)
-        load_ipa = self._ipa_of_instruction(self.index)
+        pending = self.sq.nearest_unresolved(load_seq, addr_ready)
 
         if pending is None:
-            self._plain_load(instruction, load_seq, paddr, addr_ready)
+            self._plain_load(dst, width, load_seq, paddr, addr_ready)
             return
 
+        load_ipa = self._ipa_of_instruction(index)
+
         # A load racing an unresolved older store: consult the predictors.
-        store_hash = self._hash(pending.store_ipa)
-        load_hash = self._hash(load_ipa)
-        prediction = self.thread.unit.predict(store_hash, load_hash)
-        truth = pending.overlaps(paddr, instruction.width)
-        covers = pending.covers(paddr, instruction.width)
+        store_hash = ipa_hash(pending.store_ipa, self.salt)
+        load_hash = ipa_hash(load_ipa, self.salt)
+        prediction = self.unit.predict(store_hash, load_hash)
+        truth = pending.overlaps(paddr, width)
+        covers = pending.covers(paddr, width)
         if self.trace is not None:
             self.trace.emit(
                 StldPredictEvent(
                     cycle=addr_ready,
                     thread=self.tid,
-                    index=self.index,
+                    index=index,
                     store_ipa=pending.store_ipa,
                     load_ipa=load_ipa,
                     aliasing=prediction.aliasing,
@@ -654,12 +839,11 @@ class _ExecState:
         # Other unresolved older stores the load will read around: if any
         # aliases, the bypass/forward result is wrong no matter what the
         # (nearest-store) prediction said — a memory-ordering violation.
+        unresolved = self.sq.unresolved_older(load_seq, addr_ready)
         aliasing_others = [
             entry
-            for entry in self.thread.store_queue.unresolved_older(
-                load_seq, addr_ready
-            )
-            if entry is not pending and entry.overlaps(paddr, instruction.width)
+            for entry in unresolved
+            if entry is not pending and entry.overlaps(paddr, width)
         ]
 
         will_squash = (
@@ -672,15 +856,15 @@ class _ExecState:
 
         if prediction.aliasing and prediction.psf_forward:
             # Predictive store forwarding (type C right / D wrong).
-            value = self._forward_value(pending, instruction.width)
+            value = self._forward_value(pending, width)
             complete = max(addr_ready, pending.data_ready) + self.lat.sq_forward
-            self.thread.pmc.add(PmcEvent.STLF)
+            self.pmc.add(PmcEvent.STLF)
             if self.trace is not None:
                 self.trace.emit(
                     StldForwardEvent(
                         cycle=complete,
                         thread=self.tid,
-                        index=self.index,
+                        index=index,
                         value=value,
                         correct=covers,
                     )
@@ -692,33 +876,30 @@ class _ExecState:
             # nearest store would read around an older aliasing store
             # whose address resolves later — with no guard to repair it.
             # This wait-for-all is also exactly SSBD's guarantee.
-            unresolved = self.thread.store_queue.unresolved_older(
-                load_seq, addr_ready
-            )
             stall_until = max(
                 [addr_ready] + [entry.addr_ready for entry in unresolved]
             )
-            self.thread.pmc.add(
+            self.pmc.add(
                 PmcEvent.SQ_STALL_TOKENS, max(0, stall_until - addr_ready)
             )
             aliasing = [
                 entry
                 for entry in unresolved
-                if entry.overlaps(paddr, instruction.width)
+                if entry.overlaps(paddr, width)
             ]
             if aliasing:
                 value = self._merged_read(
-                    load_seq, paddr, instruction.width, stall_until, True
+                    load_seq, paddr, width, stall_until, True
                 )
                 complete = (
                     max([stall_until] + [entry.data_ready for entry in aliasing])
                     + self.lat.sq_forward
                 )
-                self.thread.pmc.add(PmcEvent.STLF)
+                self.pmc.add(PmcEvent.STLF)
             else:
-                latency, _ = self.core.hierarchy.load(paddr)
+                latency, _ = self.hierarchy.load(paddr)
                 value = self._merged_read(
-                    load_seq, paddr, instruction.width, stall_until, False
+                    load_seq, paddr, width, stall_until, False
                 )
                 complete = stall_until + latency + self.lat.post_stall_replay
             if self.trace is not None:
@@ -726,15 +907,15 @@ class _ExecState:
                     StldStallEvent(
                         cycle=stall_until,
                         thread=self.tid,
-                        index=self.index,
+                        index=index,
                         ready_cycle=complete,
                     )
                 )
         else:
             # Speculative store bypass: stale read around the store (H/G).
-            latency, _ = self.core.hierarchy.load(paddr)
+            latency, _ = self.hierarchy.load(paddr)
             value = self._merged_read(
-                load_seq, paddr, instruction.width, addr_ready, False
+                load_seq, paddr, width, addr_ready, False
             )
             complete = addr_ready + latency
             if self.trace is not None:
@@ -742,7 +923,7 @@ class _ExecState:
                     StldBypassEvent(
                         cycle=complete,
                         thread=self.tid,
-                        index=self.index,
+                        index=index,
                         value=value,
                         correct=not truth,
                     )
@@ -750,67 +931,69 @@ class _ExecState:
 
         record = _SpecLoad(
             load_seq=load_seq,
-            load_index=self.index,
+            load_index=index,
             load_ipa=load_ipa,
             load_hash=load_hash,
             store_hash=store_hash,
             paddr=paddr,
-            width=instruction.width,
+            width=width,
             prediction=prediction,
             truth=truth,
             covers=covers,
             snapshot=snapshot,
         )
         pending.speculated_loads.append(record)
+        self._nrec += 1
         if not (prediction.aliasing and not prediction.psf_forward):
             # Bypass and PSF paths read around *every* unresolved store;
             # attach a guard to each aliasing one so its resolution
             # squashes the load even though the nearest-store prediction
             # was "right".  (The stall path reads the final merged value,
-            # so it needs no guards.)
+            # so it needs no guards.)  Guards share the load's rollback
+            # point — one more holder each, not one more copy.
             for entry in aliasing_others:
+                snapshot.refs += 1
                 entry.speculated_loads.append(
                     _SpecLoad(
                         load_seq=load_seq,
-                        load_index=self.index,
+                        load_index=index,
                         load_ipa=load_ipa,
                         load_hash=load_hash,
                         store_hash=store_hash,
                         paddr=paddr,
-                        width=instruction.width,
+                        width=width,
                         prediction=prediction,
                         truth=True,
-                        covers=entry.covers(paddr, instruction.width),
+                        covers=entry.covers(paddr, width),
                         snapshot=snapshot,
                         guard=True,
                     )
                 )
-        self._set_reg(instruction.dst, value, complete)
+                self._nrec += 1
+        self._set_reg(dst, value, complete)
 
     def _plain_load(
-        self, instruction: Load, load_seq: int, paddr: int, addr_ready: int
+        self, dst: str, width: int, load_seq: int, paddr: int, addr_ready: int
     ) -> None:
-        forwarding = self.thread.store_queue.forwarding_store(
-            load_seq, paddr, instruction.width, addr_ready
-        )
-        value = self._merged_read(load_seq, paddr, instruction.width, addr_ready, False)
-        if forwarding is not None and forwarding.covers(paddr, instruction.width):
+        forwarding = self.sq.forwarding_store(load_seq, paddr, width, addr_ready)
+        value = self._merged_read(load_seq, paddr, width, addr_ready, False)
+        if forwarding is not None and forwarding.covers(paddr, width):
             complete = max(addr_ready, forwarding.data_ready) + self.lat.sq_forward
-            self.thread.pmc.add(PmcEvent.STLF)
+            self.pmc.add(PmcEvent.STLF)
         else:
-            latency, _ = self.core.hierarchy.load(paddr)
+            latency, _ = self.hierarchy.load(paddr)
             complete = addr_ready + latency
-        self._set_reg(instruction.dst, value, complete)
+        self._set_reg(dst, value, complete)
 
     def _faulting_load(
-        self, instruction: Load, addr_ready: int, fault: SegmentationFault
+        self, dst: str, addr_ready: int, fault: SegmentationFault
     ) -> None:
         """A faulting load: younger work runs transiently until the fault
         delivers at retire.  AMD does not forward faulting-load data, so
         the destination reads as zero (never secret-bearing)."""
         if self._in_speculative_context():
             # Fault inside an existing window: suppressed entirely.
-            self._set_reg(instruction.dst, 0, addr_ready + self.lat.l1_hit)
+            self._set_reg(dst, 0, addr_ready + self.lat.l1_hit)
             return
         self.window = _TransientWindow(
             stop=addr_ready + FAULT_WINDOW,
@@ -829,23 +1012,25 @@ class _ExecState:
                     window_stop=self.window.stop,
                 )
             )
-        self._set_reg(instruction.dst, 0, addr_ready + self.lat.l1_hit)
+        self._set_reg(dst, 0, addr_ready + self.lat.l1_hit)
 
     # ------------------------------------------------------------------
     # Branches
     # ------------------------------------------------------------------
-    def _exec_branch(self, instruction: Jz, d: int) -> None:
-        iva = self.program.iva(self.index)
-        taken = self._reg(instruction.cond) == 0
+    def _exec_branch(self, index: int, args: tuple, d: int) -> None:
+        cond, target, label = args
+        iva = self.dec.ivas[index]
+        taken = self.regs.get(cond, 0) == 0
         predicted = self.pipe.predict_branch(iva)
-        resolve = max(d, self._ready_of(instruction.cond)) + self.lat.alu
+        rc = self.ready.get(cond, 0)
+        resolve = (rc if rc > d else d) + self.lat.alu
         self.pipe.train_branch(iva, taken)
         if self.trace is not None:
             self.trace.emit(
                 BranchPredictEvent(
                     cycle=d,
                     thread=self.tid,
-                    index=self.index,
+                    index=index,
                     iva=iva,
                     predicted_taken=predicted,
                 )
@@ -854,17 +1039,18 @@ class _ExecState:
                 BranchResolveEvent(
                     cycle=resolve,
                     thread=self.tid,
-                    index=self.index,
+                    index=index,
                     iva=iva,
                     taken=taken,
                     mispredicted=predicted != taken,
                 )
             )
-        target = self.program.label_index(instruction.label)
-        fallthrough = self.index + 1
+        if target is None:
+            raise InvalidInstruction(f"unknown label {label!r}")
+        fallthrough = index + 1
         self.retired += 1
         if self.trace is not None:
-            self._trace_commit(self.index, instruction, d)
+            self._trace_commit(index, self.dec.names[index], d)
         if predicted == taken or self.window is not None:
             # Correct prediction — or a nested mispredict inside an open
             # window (single-level wrong-path model): follow the truth.
@@ -887,12 +1073,20 @@ class _ExecState:
     def _train_squashed_records(self, after_load_seq: int, now: int) -> None:
         """Vulnerability 4: predictor updates from executed-but-squashed
         store-load pairs are applied before the pairs die."""
-        for entry in self.thread.store_queue.entries():
+        if not self._nrec:
+            return
+        for entry in self.sq_entries:
+            records = entry.speculated_loads
+            if not records:
+                continue
             keep = []
-            for record in entry.speculated_loads:
+            for record in records:
                 if record.load_seq > after_load_seq:
                     if not record.guard:
                         self._apply_predictor_update(entry, record, now)
+                    if record.snapshot is not None:
+                        self._deref(record.snapshot)
+                    self._nrec -= 1
                 else:
                     keep.append(record)
             entry.speculated_loads = keep
@@ -901,8 +1095,8 @@ class _ExecState:
         self, entry: StoreEntry, record: _SpecLoad, now: int
     ) -> ExecType:
         if self.trace is not None:
-            self.thread.unit.trace_cycle = now
-        result = self.thread.unit.access(
+            self.unit.trace_cycle = now
+        result = self.unit.access(
             record.store_hash, record.load_hash, record.truth
         )
         self.result.events.append(
@@ -922,9 +1116,10 @@ class _ExecState:
         self._train_squashed_records(window.base_seq, window.stop)
         self._squash_stores(window.base_seq)
         self._restore(window.snapshot)
+        self._deref(window.snapshot)
         self.dispatch = window.stop + self.lat.rollback
         self.result.rollbacks += 1
-        self.thread.pmc.add(PmcEvent.ROLLBACK)
+        self.pmc.add(PmcEvent.ROLLBACK)
         if self.trace is not None:
             self.trace.emit(
                 SquashEvent(
@@ -960,27 +1155,48 @@ class _ExecState:
         load whose speculation turned out wrong.  Returns True when a
         squash rewound the pipeline.
         """
-        for entry in list(self.thread.store_queue.entries()):
-            if entry.addr_ready > now or not entry.speculated_loads:
-                continue
-            records, entry.speculated_loads = entry.speculated_loads, []
-            squashing: _SpecLoad | None = None
-            for record in records:
-                if record.guard:
-                    wrong = True  # guards are only attached when aliasing
-                else:
-                    exec_type = self._apply_predictor_update(entry, record, now)
-                    wrong = exec_type.rollback or (
-                        exec_type is ExecType.C and not record.covers
-                    )
-                if squashing is None and wrong and record.snapshot is not None:
-                    squashing = record
-            if squashing is not None:
-                self._squash_from(squashing, entry, now)
-                return True
-        self.thread.store_queue.commit_ready(
-            self.core.memory, now, self._commit_ceiling()
-        )
+        if self._nrec:
+            for entry in self.sq_entries:
+                if entry.addr_ready > now:
+                    continue
+                records = entry.speculated_loads
+                if not records:
+                    continue
+                entry.speculated_loads = []
+                self._nrec -= len(records)
+                squashing: _SpecLoad | None = None
+                for record in records:
+                    if record.guard:
+                        wrong = True  # guards are only attached when aliasing
+                    else:
+                        exec_type = self._apply_predictor_update(entry, record, now)
+                        wrong = exec_type.rollback or (
+                            exec_type is ExecType.C and not record.covers
+                        )
+                    if squashing is None and wrong and record.snapshot is not None:
+                        squashing = record
+                if squashing is not None:
+                    self._squash_from(squashing, entry, now)
+                    # The rollback points of the records just consumed die
+                    # only now, after the restore used the journal.
+                    for record in records:
+                        if record.snapshot is not None:
+                            self._deref(record.snapshot)
+                    return True
+                for record in records:
+                    if record.snapshot is not None:
+                        self._deref(record.snapshot)
+        # commit_ready commits nothing unless the head store is fully
+        # ready and under the window ceiling — replicate its break
+        # conditions here so the common not-yet case costs no call.
+        entries = self.sq_entries
+        if entries:
+            head = entries[0]
+            if head.addr_ready <= now and head.data_ready <= now:
+                window = self.window
+                ceiling = None if window is None else window.base_seq
+                if ceiling is None or head.seq <= ceiling:
+                    self.sq.commit_ready(self.memory, now, ceiling)
         return False
 
     def _squash_from(self, record: _SpecLoad, entry: StoreEntry, now: int) -> None:
@@ -992,6 +1208,7 @@ class _ExecState:
             # *after* the load we are rewinding to: its window context is
             # stale — the instruction will re-execute and re-open it.
             # Leaving it armed would later "close" onto wrong-path state.
+            self._deref(self.window.snapshot)
             self.window = None
         assert record.snapshot is not None
         self._restore(record.snapshot)
@@ -1000,7 +1217,7 @@ class _ExecState:
             penalty += self.lat.psf_rollback_extra
         self.dispatch = max(now, entry.addr_ready) + penalty
         self.result.rollbacks += 1
-        self.thread.pmc.add(PmcEvent.ROLLBACK)
+        self.pmc.add(PmcEvent.ROLLBACK)
         if self.trace is not None:
             self.trace.emit(
                 SquashEvent(

@@ -22,7 +22,7 @@ from repro.mem.physical import PhysicalMemory
 __all__ = ["StoreEntry", "StoreQueue"]
 
 
-@dataclass
+@dataclass(slots=True)
 class StoreEntry:
     """One in-flight store."""
 
@@ -78,13 +78,19 @@ class StoreQueue:
 
     def unresolved_older(self, seq: int, now: int) -> list[StoreEntry]:
         """Older stores whose address is not yet generated at cycle ``now``."""
-        return [e for e in self.older_than(seq) if e.addr_ready > now]
+        return [
+            e
+            for e in self._entries
+            if e.seq < seq and not e.committed and e.addr_ready > now
+        ]
 
     def nearest_unresolved(self, seq: int, now: int) -> StoreEntry | None:
         """The youngest older unresolved store (the one the paper's stld
         microbenchmark races against)."""
-        candidates = self.unresolved_older(seq, now)
-        return candidates[-1] if candidates else None
+        for entry in reversed(self._entries):
+            if entry.seq < seq and not entry.committed and entry.addr_ready > now:
+                return entry
+        return None
 
     def forwarding_store(
         self, seq: int, paddr: int, size: int, now: int
@@ -135,13 +141,27 @@ class StoreQueue:
         return drained
 
     def squash_younger(self, seq: int) -> list[StoreEntry]:
-        """Drop uncommitted stores younger than ``seq`` (rollback)."""
+        """Drop uncommitted stores younger than ``seq`` (rollback).
+
+        Slice-assignment keeps the internal list's identity stable so
+        :meth:`live_entries` references held across a squash stay valid.
+        """
         squashed = [e for e in self._entries if e.seq > seq]
-        self._entries = [e for e in self._entries if e.seq <= seq]
+        self._entries[:] = [e for e in self._entries if e.seq <= seq]
         return squashed
 
     def entries(self) -> list[StoreEntry]:
         return list(self._entries)
+
+    def live_entries(self) -> list[StoreEntry]:
+        """The internal entry list itself — NOT a copy.
+
+        The pipeline reads this once per scheduling step, so the defensive
+        copy in :meth:`entries` was the single largest allocation site in
+        a run.  Callers must treat the list as read-only; it stays
+        identity-stable across pushes, commits and squashes.
+        """
+        return self._entries
 
     def __repr__(self) -> str:
         return f"StoreQueue({len(self._entries)}/{self.capacity})"

@@ -41,6 +41,11 @@ class PageMapping:
     shared: bool = False
 
 
+#: Memoized ``Perm`` member -> raw bit value (see ``translate``).
+_PERM_BITS: dict[Perm, int] = {perm: perm.value for perm in Perm}
+_W_BIT = Perm.W.value
+
+
 class CowFault(ReproError):
     """A write touched a copy-on-write page; the kernel must copy it."""
 
@@ -91,9 +96,21 @@ class AddressSpace:
         entry = self._pages.get(va_page)
         if entry is None:
             raise SegmentationFault(vaddr, access=_describe(access))
-        if access & ~entry.perms:
+        # The permission check runs once per simulated memory access, so
+        # it works on plain ints: Flag.__and__ / Flag.value resolve
+        # through enum machinery that dominates this function's cost.
+        # _PERM_BITS memoizes member -> value (Flag members, including
+        # combination pseudo-members, are singletons, so identity-keyed
+        # lookups are exact).
+        wanted = _PERM_BITS.get(access)
+        if wanted is None:
+            wanted = _PERM_BITS[access] = access.value
+        granted = _PERM_BITS.get(entry.perms)
+        if granted is None:
+            granted = _PERM_BITS[entry.perms] = entry.perms.value
+        if wanted & ~granted:
             raise ProtectionFault(vaddr, access=_describe(access))
-        if access & Perm.W and entry.cow:
+        if wanted & _W_BIT and entry.cow:
             raise CowFault(va_page)
         return (entry.frame << PAGE_SHIFT) | (vaddr & (PAGE_SIZE - 1))
 

@@ -1,0 +1,123 @@
+"""Artifact schema, round-trip, and noise-aware comparison rules."""
+
+import json
+
+import pytest
+
+from repro.bench.artifact import (
+    BENCH_SCHEMA,
+    DEFAULT_THRESHOLD,
+    compare_artifacts,
+    load_artifact,
+    make_artifact,
+    write_artifact,
+)
+from repro.bench.timing import Measurement
+from repro.errors import ArtifactError
+
+
+def measurement(name, ops, spread=0.05, unit="ops"):
+    return Measurement(
+        name=name,
+        unit=unit,
+        ops_per_s=ops,
+        median_ops_per_s=ops * 0.97,
+        spread=spread,
+        repeats=5,
+        units_per_rep=1000.0,
+        best_s=1000.0 / ops,
+    )
+
+
+def artifact(entries, label="t", quick=True):
+    return make_artifact(
+        [measurement(n, ops, spread) for n, ops, spread in entries],
+        label=label,
+        quick=quick,
+    )
+
+
+class TestArtifactIO:
+    def test_round_trip(self, tmp_path):
+        payload = artifact([("pipeline.steps", 100000.0, 0.1)])
+        path = tmp_path / "BENCH_t.json"
+        write_artifact(path, payload)
+        loaded = load_artifact(path)
+        assert loaded["schema"] == BENCH_SCHEMA
+        assert loaded["label"] == "t"
+        assert loaded["quick"] is True
+        assert loaded["benchmarks"]["pipeline.steps"]["ops_per_s"] == 100000.0
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ArtifactError, match="not found"):
+            load_artifact(tmp_path / "nope.json")
+
+    def test_bad_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ArtifactError, match="not valid JSON"):
+            load_artifact(path)
+
+    def test_wrong_schema_raises(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"schema": "repro-bench/v0", "benchmarks": {}}))
+        with pytest.raises(ArtifactError, match="schema"):
+            load_artifact(path)
+
+    def test_missing_benchmarks_table_raises(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"schema": BENCH_SCHEMA}))
+        with pytest.raises(ArtifactError, match="benchmarks"):
+            load_artifact(path)
+
+
+class TestCompare:
+    def test_improvement_never_regresses(self):
+        old = artifact([("a", 100.0, 0.05)])
+        new = artifact([("a", 250.0, 0.05)])
+        (row,) = compare_artifacts(old, new)
+        assert row.ratio == pytest.approx(2.5)
+        assert not row.regressed
+
+    def test_large_drop_regresses(self):
+        old = artifact([("a", 100.0, 0.05)])
+        new = artifact([("a", 60.0, 0.05)])
+        (row,) = compare_artifacts(old, new)
+        assert row.regressed
+
+    def test_drop_within_threshold_passes(self):
+        old = artifact([("a", 100.0, 0.05)])
+        new = artifact([("a", 80.0, 0.05)])
+        (row,) = compare_artifacts(old, new, threshold=0.25)
+        assert not row.regressed
+
+    def test_drop_within_noise_passes(self):
+        """A 40% drop on a benchmark whose own spread is 50% is noise,
+        not a regression — the noise-aware half of the rule."""
+        old = artifact([("a", 100.0, 0.5)])
+        new = artifact([("a", 60.0, 0.05)])
+        (row,) = compare_artifacts(old, new, threshold=0.25)
+        assert not row.regressed
+
+    def test_new_side_noise_also_counts(self):
+        old = artifact([("a", 100.0, 0.05)])
+        new = artifact([("a", 60.0, 0.5)])
+        (row,) = compare_artifacts(old, new, threshold=0.25)
+        assert not row.regressed
+
+    def test_one_sided_benchmarks_reported_not_regressed(self):
+        old = artifact([("a", 100.0, 0.05), ("gone", 10.0, 0.05)])
+        new = artifact([("a", 100.0, 0.05), ("added", 10.0, 0.05)])
+        rows = {r.name: r for r in compare_artifacts(old, new)}
+        assert set(rows) == {"a", "gone", "added"}
+        assert rows["gone"].ratio is None and not rows["gone"].regressed
+        assert rows["added"].ratio is None and not rows["added"].regressed
+
+    def test_default_threshold_is_quarter(self):
+        assert DEFAULT_THRESHOLD == 0.25
+
+    def test_format_row_marks_regression(self):
+        old = artifact([("a", 100.0, 0.01)])
+        new = artifact([("a", 50.0, 0.01)])
+        (row,) = compare_artifacts(old, new)
+        assert "REGRESSED" in row.format_row()

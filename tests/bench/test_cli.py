@@ -1,0 +1,110 @@
+"""``repro-bench`` CLI: exit codes, artifacts, compare gating."""
+
+import json
+
+import pytest
+
+from repro.bench.artifact import BENCH_SCHEMA, make_artifact, write_artifact
+from repro.bench.cli import main
+from repro.bench.micro import BENCHMARKS
+from repro.bench.timing import Measurement
+from repro.runtime import exitcodes
+
+
+def write_bench(path, entries, label="t"):
+    payload = make_artifact(
+        [
+            Measurement(
+                name=name,
+                unit="ops",
+                ops_per_s=ops,
+                median_ops_per_s=ops,
+                spread=0.02,
+                repeats=3,
+                units_per_rep=100.0,
+                best_s=100.0 / ops,
+            )
+            for name, ops in entries
+        ],
+        label=label,
+        quick=True,
+    )
+    write_artifact(path, payload)
+    return path
+
+
+class TestList:
+    def test_list_names_every_benchmark(self, capsys):
+        assert main(["list"]) == exitcodes.EXIT_OK
+        out = capsys.readouterr().out
+        for name in BENCHMARKS:
+            assert name in out
+
+
+class TestRun:
+    def test_run_single_quick_writes_artifact(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_x.json"
+        code = main(
+            ["run", "hashfn.ipa_hash", "--quick", "--label", "x", "--out", str(out)]
+        )
+        assert code == exitcodes.EXIT_OK
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == BENCH_SCHEMA
+        assert payload["label"] == "x"
+        assert payload["quick"] is True
+        assert payload["benchmarks"]["hashfn.ipa_hash"]["ops_per_s"] > 0
+        assert "hashfn.ipa_hash" in capsys.readouterr().out
+
+    def test_unknown_benchmark_is_usage_error(self, capsys):
+        assert main(["run", "no.such.bench"]) == exitcodes.EXIT_USAGE
+        assert "no.such.bench" in capsys.readouterr().err
+
+
+class TestCompare:
+    def test_clean_compare_exits_zero(self, tmp_path, capsys):
+        old = write_bench(tmp_path / "old.json", [("a", 100.0)])
+        new = write_bench(tmp_path / "new.json", [("a", 120.0)])
+        assert main(["compare", str(old), str(new)]) == exitcodes.EXIT_OK
+        assert "ok:" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        old = write_bench(tmp_path / "old.json", [("a", 100.0)])
+        new = write_bench(tmp_path / "new.json", [("a", 40.0)])
+        assert main(["compare", str(old), str(new)]) == exitcodes.EXIT_FAILURES
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_threshold_flag_loosens_gate(self, tmp_path):
+        old = write_bench(tmp_path / "old.json", [("a", 100.0)])
+        new = write_bench(tmp_path / "new.json", [("a", 40.0)])
+        code = main(["compare", str(old), str(new), "--threshold", "0.7"])
+        assert code == exitcodes.EXIT_OK
+
+    def test_missing_artifact_is_usage_error(self, tmp_path, capsys):
+        old = write_bench(tmp_path / "old.json", [("a", 100.0)])
+        code = main(["compare", str(old), str(tmp_path / "absent.json")])
+        assert code == exitcodes.EXIT_USAGE
+        assert "not found" in capsys.readouterr().err
+
+
+class TestTiming:
+    def test_measure_counts_units_per_repetition(self):
+        from repro.bench.timing import measure
+
+        calls = []
+
+        def workload():
+            calls.append(1)
+            return 50.0
+
+        m = measure("t", workload, unit="ops", repeats=3, warmup=2)
+        assert len(calls) == 5  # 2 warmup + 3 timed
+        assert m.repeats == 3
+        assert m.units_per_rep == 50.0
+        assert m.ops_per_s > 0
+        assert 0.0 <= m.spread < 1.0
+
+    def test_measure_rejects_zero_repeats(self):
+        from repro.bench.timing import measure
+
+        with pytest.raises(ValueError):
+            measure("t", lambda: 1.0, repeats=0)

@@ -1,0 +1,40 @@
+"""Cheap contract tests for the equivalence gate.
+
+The gate's real work — recomputing behaviour digests over experiments,
+corpus and traces — runs minutes, so it is exercised by ``python -m
+repro.bench.equivalence`` before committing core changes (see
+docs/performance.md), not by the unit suite.  What belongs here are the
+guards: tier validation and the golden-file schema check, which protect
+against silently comparing incompatible digests.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.equivalence import (
+    EQUIV_SCHEMA,
+    FAST_EXPERIMENTS,
+    check_golden,
+    compute_digest,
+)
+
+
+def test_unknown_tier_rejected():
+    with pytest.raises(ValueError, match="unknown tier"):
+        compute_digest("bogus")
+
+
+def test_wrong_schema_reported_not_compared(tmp_path):
+    golden = tmp_path / "GOLDEN.json"
+    golden.write_text(json.dumps({"schema": "repro-equivalence/v0", "sections": {}}))
+    problems = check_golden(golden)
+    assert len(problems) == 1
+    assert EQUIV_SCHEMA in problems[0]
+
+
+def test_fast_tier_experiments_are_registered():
+    from repro.experiments.runner import EXPERIMENTS
+
+    for name in FAST_EXPERIMENTS:
+        assert name in EXPERIMENTS

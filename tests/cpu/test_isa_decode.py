@@ -1,0 +1,106 @@
+"""Decode-cache behaviour of :meth:`repro.cpu.isa.Program.decoded`.
+
+The pipeline interprets the decoded dense form, so a stale cache would
+silently execute the *old* program after an in-place edit or a base
+rebind.  These tests pin the invalidation rules: content compare on the
+instruction tuple plus the base IVA.
+"""
+
+from repro.cpu.isa import (
+    OP_ALUIMM,
+    OP_HALT,
+    OP_JZ,
+    OP_LOAD,
+    OP_MOVIMM,
+    AluImm,
+    Halt,
+    Jz,
+    Label,
+    Load,
+    MovImm,
+    Program,
+)
+from repro.cpu.machine import Machine
+
+
+def sample_program(base=0):
+    return Program(
+        [
+            MovImm("a", 7),
+            AluImm("b", "a", 1, "add"),
+            Jz("b", "done"),
+            Load("c", base="a", width=8),
+            Label("done"),
+            Halt(),
+        ],
+        base_iva=base,
+        name="decode-test",
+    )
+
+
+class TestDecodedForm:
+    def test_dense_form_matches_instructions(self):
+        program = sample_program()
+        dec = program.decoded()
+        assert dec.n == len(program)
+        assert dec.ops[0] == OP_MOVIMM
+        assert dec.ops[1] == OP_ALUIMM
+        assert dec.ops[2] == OP_JZ
+        assert dec.ops[3] == OP_LOAD
+        assert dec.ops[5] == OP_HALT
+        # Jz operands resolve the label to its instruction index.
+        cond, target, label = dec.args[2]
+        assert (cond, label) == ("b", "done")
+        assert target == 4
+        # IVAs come from the layout.
+        assert dec.ivas == [program.iva(i) for i in range(len(program))]
+
+    def test_repeat_calls_reuse_cache(self):
+        program = sample_program()
+        assert program.decoded() is program.decoded()
+
+    def test_inplace_edit_invalidates(self):
+        program = sample_program()
+        first = program.decoded()
+        program.instructions[0] = MovImm("a", 99)
+        second = program.decoded()
+        assert second is not first
+        assert second.args[0] == ("a", 99)
+        # The rebuilt form is cached again.
+        assert program.decoded() is second
+
+    def test_length_change_invalidates(self):
+        program = sample_program()
+        first = program.decoded()
+        program.instructions.insert(1, MovImm("z", 1))
+        second = program.decoded()
+        assert second is not first
+        assert second.n == first.n + 1
+        # Label target shifted by the insertion.
+        assert second.args[3][1] == 5
+
+    def test_base_rebind_invalidates_ivas(self):
+        program = sample_program(base=0)
+        first = program.decoded()
+        program.base_iva = 0x4000
+        program._layout()
+        second = program.decoded()
+        assert second is not first
+        assert second.ivas[0] == 0x4000
+
+    def test_relocated_program_decodes_at_new_base(self):
+        program = sample_program(base=0)
+        program.decoded()
+        moved = program.relocate(0x2000)
+        assert moved.decoded().ivas[0] == 0x2000
+
+    def test_machine_run_sees_inplace_edit(self):
+        """End to end: the interpreter must not execute a stale decode."""
+        machine = Machine(seed=1)
+        process = machine.kernel.create_process("p")
+        program = machine.load_program(
+            process, Program([MovImm("a", 1), Halt()], name="edit")
+        )
+        assert machine.run(process, program).regs["a"] == 1
+        program.instructions[0] = MovImm("a", 2)
+        assert machine.run(process, program).regs["a"] == 2
