@@ -17,7 +17,7 @@ RESULTS ?= results
 
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test experiments-quick experiments-check experiments-all regen-experiments-md fuzz-smoke chaos-smoke trace-smoke bench-smoke bench-baseline equivalence-check clean-cache
+.PHONY: test experiments-quick experiments-check experiments-all regen-experiments-md fuzz-smoke chaos-smoke trace-smoke attack-smoke bench-smoke bench-baseline equivalence-check clean-cache
 
 test:
 	$(PY) -m pytest -x -q
@@ -96,6 +96,27 @@ trace-smoke:
 	$(PY) -m repro.telemetry.overhead
 	rm -rf $(RESULTS)-trace
 	@echo "trace-smoke: traces deterministic across reruns and job counts; overhead in budget"
+
+## End-to-end exploitation gate (docs/attacks.md): the seeded secret
+## extraction must fully recover under "none" and measurably degrade
+## under ssbd/fence (asserted by `repro-attack verify`), write
+## byte-identical reports across reruns, and the three attack
+## experiments must produce identical results under --jobs 1 and
+## --jobs $(JOBS).
+ATTACK_NAMES = channel-capacity stl-extraction aslr-derand
+ATTACK_FLAGS = --no-cache --stable-meta
+attack-smoke:
+	rm -rf $(RESULTS)-attack
+	mkdir -p $(RESULTS)-attack
+	$(PY) -m repro.attacks.cli leak --mitigation all --out $(RESULTS)-attack/leak-a.json
+	$(PY) -m repro.attacks.cli leak --mitigation all --out $(RESULTS)-attack/leak-b.json
+	cmp $(RESULTS)-attack/leak-a.json $(RESULTS)-attack/leak-b.json
+	$(PY) -m repro.attacks.cli verify $(RESULTS)-attack/leak-a.json
+	$(PY) -m repro.experiments.runner $(ATTACK_NAMES) --jobs 1       $(ATTACK_FLAGS) --json $(RESULTS)-attack/serial
+	$(PY) -m repro.experiments.runner $(ATTACK_NAMES) --jobs $(JOBS) $(ATTACK_FLAGS) --json $(RESULTS)-attack/parallel
+	$(PY) -m repro.experiments.report --compare $(RESULTS)-attack/serial $(RESULTS)-attack/parallel
+	rm -rf $(RESULTS)-attack
+	@echo "attack-smoke: full recovery unmitigated, degraded under ssbd/fence, deterministic across reruns and job counts"
 
 ## Performance regression gate (docs/performance.md): a quick benchmark
 ## pass compared against the committed baseline benchmarks/BENCH_seed.json.

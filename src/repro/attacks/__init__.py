@@ -7,8 +7,21 @@ no physical addresses, no PTEditor (those privileged tools live in
 """
 
 from repro.attacks.address_leak import AddressMappingLeak, RelativeHashLeak
+from repro.attacks.aslr import AslrDerandomizer, AslrReport
+from repro.attacks.capacity import (
+    CapacityConfig,
+    CapacityReport,
+    build_channel,
+    measure_capacity,
+)
+from repro.attacks.channels import (
+    CacheLineChannel,
+    NoisyChannel,
+    StlPredictorChannel,
+)
 from repro.attacks.collision import CollisionResult, SsbpCollisionFinder
 from repro.attacks.covert_channel import ChannelReport, SsbpCovertChannel
+from repro.attacks.extraction import ExtractionReport, SecretExtraction, run_suite
 from repro.attacks.fingerprint import SsbpFingerprinter, collect_dataset
 from repro.attacks.flush_reload import FlushReloadChannel
 from repro.attacks.gadgets import (
@@ -25,17 +38,25 @@ from repro.attacks.web import BrowserTimer, SpectreCTLWeb
 
 __all__ = [
     "AddressMappingLeak",
+    "AslrDerandomizer",
+    "AslrReport",
     "AttackerStld",
     "BrowserTimer",
     "CTL_REGS",
+    "CacheLineChannel",
+    "CapacityConfig",
+    "CapacityReport",
     "ChannelReport",
     "CollisionResult",
     "CtlLeakReport",
+    "ExtractionReport",
     "FlushReloadChannel",
     "InPlaceLeakReport",
     "LeakReport",
+    "NoisyChannel",
     "RelativeHashLeak",
     "STL_REGS",
+    "SecretExtraction",
     "SpectreCTL",
     "SpectreCTLWeb",
     "SpectreSTL",
@@ -43,7 +64,11 @@ __all__ = [
     "SsbpCollisionFinder",
     "SsbpCovertChannel",
     "SsbpFingerprinter",
+    "StlPredictorChannel",
+    "build_channel",
     "collect_dataset",
+    "measure_capacity",
+    "run_suite",
     "spectre_ctl_gadget",
     "spectre_stl_gadget",
 ]

@@ -1,0 +1,221 @@
+"""End-to-end Spectre-STL secret extraction, evaluated per mitigation.
+
+This is the exploitation capstone of Section V-B: a victim process owns
+a secret buffer; the attacker mistrains the store-to-load predictors
+through a validated hash collision (:class:`~repro.attacks.spectre_stl.
+SpectreSTL`) and transmits out-of-bounds bytes through the cache
+channel, optionally reading each byte several times and taking a
+plurality vote (the redundancy knob of :mod:`repro.attacks.coding`
+applied to extraction).
+
+The same campaign runs under each mitigation, giving the measured
+degradation story the paper's Section VI argues qualitatively:
+
+* ``none`` — full recovery, one victim run per byte read;
+* ``ssbd`` — speculative store bypass disable pins every load behind
+  its stores: the timing classes the attacker calibrated collapse, the
+  trivially "sticky" probes never validate, and the attack dies in the
+  collision phase;
+* ``fence`` — an mfence after every victim store closes the transient
+  window *and* starves the predictors (no aliasing events, nothing to
+  charge): the sliding scan burns its whole budget without one hit.
+
+Failures are measurements, not errors: a failed campaign reports zero
+accuracy plus the cycles the attacker wasted, which is exactly the
+cycles-per-byte inflation the mitigation buys.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.attacks.spectre_stl import SpectreSTL
+from repro.cpu.isa import Program
+from repro.cpu.machine import Machine
+from repro.errors import AttackError, CollisionNotFound, ReproError
+from repro.fuzz.harness import MITIGATIONS
+from repro.mitigations.fences import fence_after_stores
+from repro.attacks.gadgets import spectre_stl_gadget
+from repro.telemetry.metrics import registry
+
+__all__ = ["ExtractionReport", "SecretExtraction", "run_suite"]
+
+#: Sliding-scan give-up budget (probe attempts per candidate scan).  A
+#: page holds exactly one colliding offset, but successive scans resume
+#: just past the previous hit, so the next hit can sit almost two pages
+#: away; ~8500 covers that worst case plus slack.  Against a fenced
+#: victim the whole budget is wasted — that cost is part of the
+#: measurement.
+DEFAULT_COLLISION_BUDGET = 8500
+
+
+@dataclass
+class ExtractionReport:
+    """Measured outcome of one extraction campaign."""
+
+    mitigation: str
+    expected: bytes
+    recovered: bytes
+    cycles: int
+    clock_ghz: float
+    redundancy: int
+    validation_attempts: int
+    failure: str | None = None
+
+    @property
+    def accuracy(self) -> float:
+        if not self.expected:
+            return 1.0
+        good = sum(a == b for a, b in zip(self.recovered, self.expected))
+        return good / len(self.expected)
+
+    @property
+    def byte_errors(self) -> int:
+        return len(self.expected) - round(self.accuracy * len(self.expected))
+
+    @property
+    def cycles_per_byte(self) -> float:
+        return self.cycles / len(self.expected) if self.expected else 0.0
+
+    @property
+    def bytes_per_second(self) -> float:
+        seconds = self.cycles / (self.clock_ghz * 1e9)
+        if not seconds:
+            return float("inf")
+        good = round(self.accuracy * len(self.expected))
+        return good / seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "mitigation": self.mitigation,
+            "secret_bytes": len(self.expected),
+            "recovered_hex": self.recovered.hex(),
+            "expected_hex": self.expected.hex(),
+            "accuracy": round(self.accuracy, 6),
+            "byte_errors": self.byte_errors,
+            "cycles": self.cycles,
+            "cycles_per_byte": round(self.cycles_per_byte, 1),
+            "bytes_per_second": round(self.bytes_per_second, 1),
+            "redundancy": self.redundancy,
+            "validation_attempts": self.validation_attempts,
+            "failure": self.failure,
+        }
+
+
+class SecretExtraction:
+    """One seeded extraction campaign under one mitigation."""
+
+    def __init__(
+        self,
+        seed: int = 2024,
+        mitigation: str = "none",
+        slide_pages: int = 16,
+        redundancy: int = 1,
+        collision_budget: int | None = DEFAULT_COLLISION_BUDGET,
+    ) -> None:
+        if mitigation not in MITIGATIONS:
+            raise ValueError(
+                f"unknown mitigation {mitigation!r} (know {MITIGATIONS})"
+            )
+        if redundancy < 1:
+            raise ValueError(f"redundancy must be >= 1, got {redundancy}")
+        self.mitigation = mitigation
+        self.redundancy = redundancy
+        self.collision_budget = collision_budget
+        self.machine = Machine(seed=seed)
+        gadget: Program | None = None
+        if mitigation == "fence":
+            gadget = Program(
+                fence_after_stores(spectre_stl_gadget().instructions),
+                name="stl-gadget-fenced",
+            )
+        self.attack = SpectreSTL(
+            machine=self.machine, slide_pages=slide_pages, gadget=gadget
+        )
+        if mitigation == "ssbd":
+            # Machine-wide SSBD, enabled after the attacker calibrated
+            # its timing classifier — the most attacker-favorable
+            # ordering, and the attack still collapses.
+            self.machine.core.set_ssbd(True)
+
+    def _read_byte(self, offset: int, candidate) -> int:
+        """One secret byte, ``redundancy`` channel reads, plurality vote.
+
+        Ties and all-failed rounds resolve deterministically (smallest
+        byte value; 0 for no reads) — the decode bias is part of the
+        attack, not hidden randomness.
+        """
+        reads = []
+        for _ in range(self.redundancy):
+            byte = self.attack.leak_byte(offset, candidate)
+            if byte is None and self.redundancy == 1:
+                byte = self.attack.leak_byte(offset, candidate)  # single retry
+            if byte is not None:
+                reads.append(byte)
+        if not reads:
+            return 0
+        best = max(Counter(reads).items(), key=lambda item: (item[1], -item[0]))
+        return best[0]
+
+    def run(self, secret: bytes) -> ExtractionReport:
+        """Plant ``secret`` in the victim and run the whole campaign."""
+        if not secret:
+            raise ValueError("refusing to extract an empty secret")
+        machine = self.machine
+        machine.kernel.write(self.attack.process, self.attack.secret_va, secret)
+        thread = machine.core.thread(0)
+        start = thread.cycles
+        failure = None
+        recovered = b"\x00" * len(secret)
+        try:
+            candidate = self.attack.find_collision(
+                max_attempts=self.collision_budget
+            )
+            out = bytearray()
+            for index in range(len(secret)):
+                offset = self.attack.secret_va + index - self.attack.array1
+                out.append(self._read_byte(offset, candidate))
+            recovered = bytes(out)
+        except (AttackError, CollisionNotFound, ReproError) as exc:
+            failure = f"{type(exc).__name__}: {exc}"
+        cycles = thread.cycles - start
+        report = ExtractionReport(
+            mitigation=self.mitigation,
+            expected=secret,
+            recovered=recovered,
+            cycles=cycles,
+            clock_ghz=machine.core.model.clock_ghz,
+            redundancy=self.redundancy,
+            validation_attempts=self.attack.validation_attempts,
+            failure=failure,
+        )
+        metrics = registry()
+        metrics.counter("attack.extract.bytes").inc(len(secret))
+        metrics.counter("attack.extract.byte_errors").inc(report.byte_errors)
+        metrics.counter(f"attack.extract.campaigns.{self.mitigation}").inc()
+        metrics.histogram("attack.extract.cycles_per_byte").observe(
+            round(report.cycles_per_byte)
+        )
+        return report
+
+
+def run_suite(
+    secret: bytes,
+    seed: int = 2024,
+    mitigations: tuple[str, ...] = MITIGATIONS,
+    slide_pages: int = 16,
+    redundancy: int = 1,
+    collision_budget: int | None = DEFAULT_COLLISION_BUDGET,
+) -> list[ExtractionReport]:
+    """The same seeded campaign under each mitigation, fresh machine each."""
+    return [
+        SecretExtraction(
+            seed=seed,
+            mitigation=mitigation,
+            slide_pages=slide_pages,
+            redundancy=redundancy,
+            collision_budget=collision_budget,
+        ).run(secret)
+        for mitigation in mitigations
+    ]

@@ -76,7 +76,12 @@ class LeakReport:
 class SpectreSTL:
     """Out-of-place Spectre-STL against a same-process victim gadget."""
 
-    def __init__(self, machine: Machine | None = None, slide_pages: int = 16) -> None:
+    def __init__(
+        self,
+        machine: Machine | None = None,
+        slide_pages: int = 16,
+        gadget: Program | None = None,
+    ) -> None:
         self.machine = machine or Machine(seed=1337)
         kernel = self.machine.kernel
         self.process: Process = kernel.create_process("victim-with-attacker")
@@ -92,7 +97,11 @@ class SpectreSTL:
         # array2[0] architectural value: points the squash replay at a
         # known-zero array1 byte (slot 0 decoy).
         kernel.write(self.process, self.array2, (0).to_bytes(8, "little"))
-        self.victim = self.machine.load_program(self.process, spectre_stl_gadget())
+        # ``gadget`` lets callers transform the victim routine — the
+        # mitigation evaluation passes a fenced variant (Section VI-A).
+        self.victim = self.machine.load_program(
+            self.process, gadget if gadget is not None else spectre_stl_gadget()
+        )
         self.attacker = AttackerStld(self.machine, self.process, slide_pages=slide_pages)
         self.channel = FlushReloadChannel(self.machine, self.process, self.array2)
         self._flush_idx_program = self.machine.load_program(
@@ -137,16 +146,20 @@ class SpectreSTL:
     # ------------------------------------------------------------------
     # Phase 1: collision search + validation
     # ------------------------------------------------------------------
-    def find_collision(self, max_candidates: int = 16) -> CollisionResult:
+    def find_collision(
+        self, max_candidates: int = 16, max_attempts: int | None = None
+    ) -> CollisionResult:
         """Find and validate an attacker stld colliding with the victim
         pair.  Load-hash candidates come from code sliding; each is
         validated by leaking a byte the attacker knows (store-tag match
-        is not directly observable, Fig 7)."""
+        is not directly observable, Fig 7).  ``max_attempts`` caps each
+        sliding scan — the give-up budget a real attacker sets against a
+        victim whose entry never charges (e.g. a fenced gadget)."""
         finder = SsbpCollisionFinder(self.attacker, self._charge_victim_load)
         offset = 0
         for candidate_index in range(max_candidates):
             try:
-                candidate = finder.find(start_offset=offset)
+                candidate = finder.find(start_offset=offset, max_attempts=max_attempts)
             except CollisionNotFound:
                 break
             offset = candidate.iva - self.attacker.slide_base + 1
@@ -159,13 +172,13 @@ class SpectreSTL:
         )
 
     def _validate(self, candidate: CollisionResult) -> bool:
-        recovered = self._leak_byte(_VALIDATE_OFF, candidate)
+        recovered = self.leak_byte(_VALIDATE_OFF, candidate)
         return recovered == _VALIDATE_BYTE
 
     # ------------------------------------------------------------------
     # Phase 2+3: per-byte mistrain and leak
     # ------------------------------------------------------------------
-    def _leak_byte(self, array1_offset: int, candidate: CollisionResult) -> int | None:
+    def leak_byte(self, array1_offset: int, candidate: CollisionResult) -> int | None:
         if not self.attacker.train_psf(candidate.program):
             return None
         self.channel.flush_all()
@@ -193,9 +206,9 @@ class SpectreSTL:
         errors = []
         for index in range(len(secret)):
             offset = self.secret_va + index - self.array1
-            byte = self._leak_byte(offset, candidate)
+            byte = self.leak_byte(offset, candidate)
             if byte is None:  # retry once on a failed round
-                byte = self._leak_byte(offset, candidate)
+                byte = self.leak_byte(offset, candidate)
             recovered.append(byte if byte is not None else 0)
             if recovered[-1] != secret[index]:
                 errors.append(index)

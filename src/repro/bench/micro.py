@@ -18,6 +18,8 @@ One benchmark per layer that campaign throughput funnels through:
                             working set (the pipeline's re-hash pattern)
 ``fuzz.dual``               end-to-end differential throughput:
                             generate + dual-execute + compare, cases/s
+``attack.channel``          covert-channel symbol transfer over the
+                            cache transport (handshake excluded)
 ``campaign.experiments``    experiment-driver wall-clock (fig4 +
                             sec4-transient per iteration), experiments/s
 ========================== =============================================
@@ -201,6 +203,26 @@ def _fuzz_dual(iters: int) -> Callable[[], float]:
     return run
 
 
+def _attack_channel(iters: int) -> Callable[[], float]:
+    from repro.attacks.capacity import CapacityConfig, build_channel
+    from repro.attacks.coding import bytes_to_symbols, frame_symbols
+
+    config = CapacityConfig(channel="cache", width=2, payload_bytes=4)
+    channel = build_channel(config)  # machine + handshake outside the timer
+    symbols = frame_symbols(
+        bytes_to_symbols(b"\xa5\x5a\xc3\x3c", config.width), config.width
+    )
+
+    def run() -> float:
+        transferred = 0
+        transfer = channel.transfer
+        for _ in range(iters):
+            transferred += len(transfer(symbols))
+        return transferred
+
+    return run
+
+
 def _campaign_experiments(iters: int) -> Callable[[], float]:
     from repro.experiments.runner import run_experiment
 
@@ -231,6 +253,8 @@ BENCHMARKS: dict[str, BenchSpec] = {
                   "hashes/s", _hashfn_fold, full_iters=40),
         BenchSpec("fuzz.dual", "differential harness end-to-end",
                   "cases/s", _fuzz_dual, full_iters=18, repeats=3),
+        BenchSpec("attack.channel", "covert-channel symbol transfer",
+                  "symbols/s", _attack_channel, full_iters=12, repeats=3),
         BenchSpec("campaign.experiments", "experiment drivers end-to-end",
                   "experiments/s", _campaign_experiments, full_iters=3, repeats=3),
     )

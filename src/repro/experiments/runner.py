@@ -46,6 +46,7 @@ from repro.errors import (
     UnknownExperimentError,
 )
 from repro.experiments import (
+    attack_e2e,
     attack_evals,
     fig2_exec_types,
     fig4_hash,
@@ -136,6 +137,15 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
     ),
     "address-leak": ExperimentSpec(
         sec5_extensions.run_address_leak, "Section V-D", "medium", 808
+    ),
+    "channel-capacity": ExperimentSpec(
+        attack_e2e.run_capacity, "Section IV-D", "medium", 713
+    ),
+    "stl-extraction": ExperimentSpec(
+        attack_e2e.run_extraction, "Section V-B", "slow", 2024
+    ),
+    "aslr-derand": ExperimentSpec(
+        attack_e2e.run_aslr, "Section V-D", "medium", 4096
     ),
 }
 

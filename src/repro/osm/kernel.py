@@ -66,6 +66,36 @@ class Kernel:
                 return frame
         raise ConfigError("physical frame pool exhausted")
 
+    def allocate_frame_run(self, count: int, base_frame: int | None = None) -> int:
+        """Claim ``count`` physically *contiguous* frames; returns the base.
+
+        With ``base_frame`` the run is placed exactly there (the caller
+        models an allocator whose placement is the secret under study);
+        otherwise a free run is picked at random.  Contiguous physical
+        runs are what hugepage/CMA-style allocations produce, and their
+        base is exactly the kind of address the SPOILER-style probe of
+        :mod:`repro.attacks.aslr` goes after.
+        """
+        if count < 1:
+            raise ConfigError(f"frame run length must be >= 1, got {count}")
+        for _ in range(64):
+            base = (
+                base_frame
+                if base_frame is not None
+                else self.rng.randrange(_FRAME_POOL_LO, _FRAME_POOL_HI - count)
+            )
+            run = range(base, base + count)
+            if base < _FRAME_POOL_LO or base + count > _FRAME_POOL_HI:
+                raise ConfigError(f"frame run {base:#x}+{count} outside the pool")
+            if all(frame not in self._used_frames for frame in run):
+                for frame in run:
+                    self._used_frames.add(frame)
+                    self._frame_refs[frame] = 1
+                return base
+            if base_frame is not None:
+                raise ConfigError(f"frame run at {base_frame:#x} is not free")
+        raise ConfigError("no free contiguous frame run found")
+
     # ------------------------------------------------------------------
     # Processes
     # ------------------------------------------------------------------
@@ -124,6 +154,31 @@ class Kernel:
             process.address_space.map_page((base >> PAGE_SHIFT) + index, frame, perms)
         self.stats["map_anonymous"] += 1
         return base
+
+    def map_contiguous(
+        self,
+        process: Process,
+        pages: int,
+        perms: Perm = Perm.RW,
+        kind: str = "data",
+        base_frame: int | None = None,
+    ) -> tuple[int, int]:
+        """Map ``pages`` backed by one contiguous physical frame run.
+
+        Returns ``(base_va, base_frame)``.  Unlike :meth:`map_anonymous`
+        the physical layout is sequential — page ``i`` sits in frame
+        ``base_frame + i`` — which is the structure a loaded kernel or a
+        hugepage-backed region has, and the structure the ASLR
+        derandomization attack exploits.
+        """
+        base_frame = self.allocate_frame_run(pages, base_frame)
+        base = process.reserve_range(pages, kind)
+        for index in range(pages):
+            process.address_space.map_page(
+                (base >> PAGE_SHIFT) + index, base_frame + index, perms
+            )
+        self.stats["map_contiguous"] += 1
+        return base, base_frame
 
     def map_shared(
         self,

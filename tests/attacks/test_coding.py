@@ -1,0 +1,121 @@
+"""Channel coding layer: packing, repetition, framing."""
+
+import pytest
+
+from repro.attacks.coding import (
+    FramingError,
+    bytes_to_symbols,
+    decode_repetition,
+    deframe_symbols,
+    encode_repetition,
+    frame_symbols,
+    preamble_symbols,
+    symbols_to_bytes,
+)
+
+
+class TestPacking:
+    @pytest.mark.parametrize("width", [1, 2, 3, 4, 5, 8, 16])
+    def test_round_trip_every_width(self, width):
+        data = bytes(range(256))
+        symbols = bytes_to_symbols(data, width)
+        assert symbols_to_bytes(symbols, width, len(data)) == data
+
+    def test_lsb_first_order(self):
+        # 0xb4 = 0b10110100 -> 2-bit symbols from the low end.
+        assert bytes_to_symbols(b"\xb4", 2) == [0b00, 0b01, 0b11, 0b10]
+
+    def test_final_symbol_zero_padded(self):
+        # 8 bits into 3-bit symbols: the last symbol holds 2 data bits.
+        assert bytes_to_symbols(b"\xff", 3) == [0b111, 0b111, 0b011]
+
+    def test_symbols_in_range(self):
+        for symbol in bytes_to_symbols(bytes(range(64)), 5):
+            assert 0 <= symbol < 32
+
+    def test_too_few_symbols_raises(self):
+        with pytest.raises(ValueError):
+            symbols_to_bytes([1, 2], 2, 10)
+
+    @pytest.mark.parametrize("width", [0, -1, 17])
+    def test_width_validated(self, width):
+        with pytest.raises(ValueError):
+            bytes_to_symbols(b"x", width)
+
+
+class TestRepetition:
+    def test_encode_repeats_in_place(self):
+        assert encode_repetition([1, 2], 3) == [1, 1, 1, 2, 2, 2]
+
+    def test_clean_round_trip(self):
+        symbols = [3, 0, 2, 1]
+        coded = encode_repetition(symbols, 5)
+        assert decode_repetition(coded, 5, 2) == symbols
+
+    def test_corrects_minority_corruption(self):
+        coded = encode_repetition([2, 1], 3)
+        coded[0] ^= 3  # one of three copies of each symbol corrupted
+        coded[5] ^= 2
+        assert decode_repetition(coded, 3, 2) == [2, 1]
+
+    def test_bitwise_majority_beats_symbol_plurality(self):
+        # Three copies of 0b11, each hit in a different bit: no symbol
+        # value repeats, but each bit still has a 2/3 majority.
+        assert decode_repetition([0b01, 0b10, 0b11], 3, 2) == [0b11]
+
+    def test_even_split_decodes_to_zero(self):
+        assert decode_repetition([1, 0], 2, 1) == [0]
+
+    def test_repeat_validated(self):
+        with pytest.raises(ValueError):
+            encode_repetition([1], 0)
+        with pytest.raises(ValueError):
+            decode_repetition([1], 0, 1)
+
+
+class TestFraming:
+    def test_preamble_alternates_and_marks_every_lane(self):
+        assert preamble_symbols(2, 4) == [3, 0, 3, 0]
+        assert preamble_symbols(1, 8) == [1, 0] * 4
+
+    def test_frame_round_trip(self):
+        payload = bytes_to_symbols(b"hello", 2)
+        assert deframe_symbols(frame_symbols(payload, 2), 2) == payload
+
+    def test_receiver_skips_lead_in(self):
+        payload = [1, 2, 3]
+        stream = [0] * 7 + frame_symbols(payload, 2)
+        assert deframe_symbols(stream, 2) == payload
+
+    def test_fuzzy_preamble_tolerates_errors(self):
+        payload = [2, 0, 1]
+        stream = frame_symbols(payload, 2, preamble_len=8)
+        stream[2] ^= 1  # corrupt a mid-preamble symbol
+        assert deframe_symbols(stream, 2, preamble_len=8) == payload
+
+    def test_idle_zeros_do_not_false_sync(self):
+        # A window overlapping lead zeros differs from the preamble in
+        # only its first symbol; anchoring on the all-ones mark must
+        # reject it rather than syncing one symbol early.
+        payload = [1, 3, 2, 0]
+        stream = [0] * 3 + frame_symbols(payload, 2)
+        assert deframe_symbols(stream, 2) == payload
+
+    def test_repetition_protects_the_length_field(self):
+        payload = [1, 2, 3, 0]
+        stream = frame_symbols(payload, 2, preamble_len=8, repeat=3)
+        stream[8] ^= 3  # first copy of the length field's first symbol
+        assert deframe_symbols(stream, 2, preamble_len=8, repeat=3) == payload
+
+    def test_missing_preamble_raises(self):
+        with pytest.raises(FramingError):
+            deframe_symbols([0, 1, 2] * 10, 2)
+
+    def test_truncated_payload_raises(self):
+        stream = frame_symbols([1] * 6, 2)
+        with pytest.raises(FramingError):
+            deframe_symbols(stream[:-3], 2)
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(ValueError):
+            frame_symbols([0] * (1 << 16), 1)

@@ -1,0 +1,87 @@
+"""Contiguous physical allocation: ``allocate_frame_run``/``map_contiguous``.
+
+These are the kernel primitives the ASLR derandomization attack builds
+on — a victim region whose frames form one sequential physical run, so
+that recovering the base frame recovers the whole layout.
+"""
+
+import pytest
+
+from repro.cpu.core import Core
+from repro.errors import ConfigError
+from repro.mem.physical import PAGE_SIZE
+from repro.osm.address_space import Perm
+from repro.osm.kernel import Kernel
+
+
+@pytest.fixture()
+def kernel():
+    return Kernel(Core(seed=7))
+
+
+@pytest.fixture()
+def process(kernel):
+    return kernel.create_process("victim")
+
+
+class TestAllocateFrameRun:
+    def test_run_is_sequential_and_claimed(self, kernel):
+        base = kernel.allocate_frame_run(8)
+        # A second allocation can never overlap the claimed run.
+        other = kernel.allocate_frame_run(8)
+        run = set(range(base, base + 8))
+        assert not run & set(range(other, other + 8))
+
+    def test_explicit_placement_is_honoured(self, kernel):
+        assert kernel.allocate_frame_run(4, base_frame=0x4000) == 0x4000
+
+    def test_occupied_placement_rejected(self, kernel):
+        kernel.allocate_frame_run(4, base_frame=0x4000)
+        with pytest.raises(ConfigError):
+            kernel.allocate_frame_run(2, base_frame=0x4002)
+
+    def test_run_outside_the_pool_rejected(self, kernel):
+        with pytest.raises(ConfigError):
+            kernel.allocate_frame_run(4, base_frame=0x0100_0000)
+
+    def test_zero_length_run_rejected(self, kernel):
+        with pytest.raises(ConfigError):
+            kernel.allocate_frame_run(0)
+
+    def test_random_placement_is_seed_deterministic(self):
+        a = Kernel(Core(seed=11)).allocate_frame_run(16)
+        b = Kernel(Core(seed=11)).allocate_frame_run(16)
+        assert a == b
+
+
+class TestMapContiguous:
+    def test_page_i_sits_in_frame_base_plus_i(self, kernel, process):
+        base_va, base_frame = kernel.map_contiguous(process, pages=6)
+        space = process.address_space
+        for index in range(6):
+            mapping = space.mapping((base_va // PAGE_SIZE) + index)
+            assert mapping.frame == base_frame + index
+
+    def test_returns_both_halves_of_the_translation(self, kernel, process):
+        base_va, base_frame = kernel.map_contiguous(
+            process, pages=2, base_frame=0x8000
+        )
+        assert base_frame == 0x8000
+        assert base_va % PAGE_SIZE == 0
+
+    def test_perms_and_kind_apply(self, kernel, process):
+        base_va, _ = kernel.map_contiguous(
+            process, pages=1, perms=Perm.RX, kind="code"
+        )
+        mapping = process.address_space.mapping(base_va // PAGE_SIZE)
+        assert mapping.perms == Perm.RX
+
+    def test_stats_counter_increments(self, kernel, process):
+        before = kernel.stats["map_contiguous"]
+        kernel.map_contiguous(process, pages=3)
+        assert kernel.stats["map_contiguous"] == before + 1
+
+    def test_double_booking_a_run_fails(self, kernel, process):
+        kernel.map_contiguous(process, pages=4, base_frame=0x9000)
+        with pytest.raises(ConfigError):
+            kernel.map_contiguous(process, pages=4, base_frame=0x9000)

@@ -1,10 +1,16 @@
 """The shared CLI surface: one --version string, one exit-code epilog.
 
-Satellite of the telemetry PR: ``repro-experiments``, ``repro-fuzz`` and
-``repro-trace`` all build their parsers through
-:func:`repro.runtime.cliutil.build_parser`, so the three tools present
-the same ``--version`` format and the same documented 0/1/2/3 contract.
+Every console script in ``pyproject.toml`` — ``repro-experiments``,
+``repro-fuzz``, ``repro-trace``, ``repro-bench`` and ``repro-attack`` —
+builds its parser through :func:`repro.runtime.cliutil.build_parser`, so
+all five tools present the same ``--version`` format and the same
+documented 0/1/2/3 contract.  ``_CLIS`` is cross-checked against the
+``[project.scripts]`` table so a new entry point cannot ship without
+joining the shared surface.
 """
+
+import re
+from pathlib import Path
 
 import pytest
 
@@ -15,7 +21,17 @@ _CLIS = {
     "repro-experiments": "repro.experiments.runner",
     "repro-fuzz": "repro.fuzz.cli",
     "repro-trace": "repro.telemetry.cli",
+    "repro-bench": "repro.bench.cli",
+    "repro-attack": "repro.attacks.cli",
 }
+
+
+def test_clis_match_pyproject_scripts():
+    pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+    text = pyproject.read_text(encoding="utf-8")
+    section = text.split("[project.scripts]", 1)[1].split("[", 1)[0]
+    declared = dict(re.findall(r'^([\w-]+) = "([\w.]+):main"', section, re.M))
+    assert declared == _CLIS
 
 
 class TestBuildParser:
