@@ -17,7 +17,7 @@ RESULTS ?= results
 
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test experiments-quick experiments-check experiments-all regen-experiments-md fuzz-smoke chaos-smoke trace-smoke attack-smoke bench-smoke bench-baseline equivalence-check clean-cache
+.PHONY: test experiments-quick experiments-check experiments-all regen-experiments-md fuzz-smoke chaos-smoke trace-smoke attack-smoke interference-smoke bench-smoke bench-baseline equivalence-check clean-cache
 
 test:
 	$(PY) -m pytest -x -q
@@ -117,6 +117,27 @@ attack-smoke:
 	$(PY) -m repro.experiments.report --compare $(RESULTS)-attack/serial $(RESULTS)-attack/parallel
 	rm -rf $(RESULTS)-attack
 	@echo "attack-smoke: full recovery unmitigated, degraded under ssbd/fence, deterministic across reruns and job counts"
+
+## Robustness gate (docs/interference.md): the per-preset covert-channel
+## curve must be byte-identical across reruns and --jobs 1 / --jobs
+## $(JOBS) (the interference schedules are seeded, so noise is
+## reproducible), and the adversarial preset must actually cost the
+## channel throughput relative to quiet — otherwise the model is wired
+## up but not biting.
+interference-smoke:
+	rm -rf $(RESULTS)-interf
+	$(PY) -m repro.experiments.runner robustness-channel --jobs 1       --no-cache --stable-meta --json $(RESULTS)-interf/serial
+	$(PY) -m repro.experiments.runner robustness-channel --jobs 1       --no-cache --stable-meta --json $(RESULTS)-interf/again
+	$(PY) -m repro.experiments.runner robustness-channel --jobs $(JOBS) --no-cache --stable-meta --json $(RESULTS)-interf/parallel
+	cmp $(RESULTS)-interf/serial/robustness-channel.json $(RESULTS)-interf/again/robustness-channel.json
+	$(PY) -m repro.experiments.report --compare $(RESULTS)-interf/serial $(RESULTS)-interf/parallel
+	$(PY) -c "import json; m = json.load(open('$(RESULTS)-interf/serial/robustness-channel.json'))['metrics']; \
+	q, a = m['quiet_goodput_bps'], m['adversarial_goodput_bps']; \
+	assert a < q, f'adversarial goodput {a} not below quiet {q}'; \
+	assert m['adversarial_byte_errors'] >= m['quiet_byte_errors'], 'adversarial byte errors below quiet'; \
+	print(f'interference bites: quiet {q} b/s -> adversarial {a} b/s')"
+	rm -rf $(RESULTS)-interf
+	@echo "interference-smoke: robustness curve deterministic across reruns and job counts; adversarial preset degrades the channel"
 
 ## Performance regression gate (docs/performance.md): a quick benchmark
 ## pass compared against the committed baseline benchmarks/BENCH_seed.json.

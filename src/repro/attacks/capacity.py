@@ -24,6 +24,8 @@ from repro.attacks.channels import (
     SymbolChannel,
 )
 from repro.cpu.machine import Machine
+from repro.errors import AttackError
+from repro.interference import InterferenceModel, get_profile
 from repro.telemetry.metrics import registry
 
 __all__ = [
@@ -54,6 +56,12 @@ class CapacityConfig:
     noise: float = 0.0
     seed: int = 7
     preamble_len: int = 8
+    #: Interference preset attached to the transport's machine (None =
+    #: the historical quiet machine, byte-identical to older configs).
+    interference: str | None = None
+    #: Hardened receiver: resynchronize after a failed sync point
+    #: instead of abandoning the stream (see ``coding.deframe_symbols``).
+    resync: bool = False
 
 
 @dataclass
@@ -68,13 +76,23 @@ class CapacityReport:
     cycles: int
     clock_ghz: float
     handshake_attempts: list[int] = field(default_factory=list)
+    #: Transport-level failure (e.g. the handshake died under
+    #: interference); the report is then all-lost but still structured.
+    failure: str | None = None
 
     @property
     def raw_symbol_error_rate(self) -> float:
+        """Positional error rate on the wire; 0.0 on an empty wire (a
+        fully-jammed transmission is reported through ``all_lost`` and
+        the byte-error columns, not a division error)."""
+        if not self.symbols_on_wire:
+            return 0.0
         return self.raw_symbol_errors / self.symbols_on_wire
 
     @property
     def corrected_byte_error_rate(self) -> float:
+        if not self.config.payload_bytes:
+            return 0.0
         return self.corrected_byte_errors / self.config.payload_bytes
 
     @property
@@ -83,15 +101,36 @@ class CapacityReport:
 
     @property
     def gross_bits_per_second(self) -> float:
-        """Wire throughput: every transmitted symbol bit counts."""
+        """Wire throughput: every transmitted symbol bit counts.  Zero
+        elapsed cycles means nothing measurably moved — reported as 0.0
+        (finite and JSON-safe), not infinity."""
         bits = self.symbols_on_wire * self.config.width
-        return bits / self._seconds if self._seconds else float("inf")
+        return bits / self._seconds if self._seconds else 0.0
 
     @property
     def goodput_bits_per_second(self) -> float:
         """Correct payload bits delivered per second (after decode)."""
         good = self.config.payload_bytes - self.corrected_byte_errors
-        return good * 8 / self._seconds if self._seconds else float("inf")
+        return good * 8 / self._seconds if self._seconds else 0.0
+
+    @property
+    def recovered_bytes(self) -> int:
+        """The partial result: payload bytes that survived decode."""
+        return self.config.payload_bytes - self.corrected_byte_errors
+
+    @property
+    def all_lost(self) -> bool:
+        """True when nothing of the payload got through — the structured
+        outcome a fully-jammed channel reports."""
+        return self.recovered_bytes == 0
+
+    @property
+    def confidence(self) -> float:
+        """Wire-quality confidence in [0, 1]: how much of the stream
+        arrived positionally intact (0.0 for a dead transport)."""
+        if not self.symbols_on_wire or self.failure is not None:
+            return 0.0
+        return max(0.0, 1.0 - self.raw_symbol_error_rate)
 
     def to_dict(self) -> dict:
         return {
@@ -101,12 +140,18 @@ class CapacityReport:
             "payload_bytes": self.config.payload_bytes,
             "noise": self.config.noise,
             "seed": self.config.seed,
+            "interference": self.config.interference,
+            "resync": self.config.resync,
             "symbols_on_wire": self.symbols_on_wire,
             "raw_symbol_errors": self.raw_symbol_errors,
             "raw_symbol_error_rate": round(self.raw_symbol_error_rate, 6),
             "corrected_byte_errors": self.corrected_byte_errors,
             "corrected_byte_error_rate": round(self.corrected_byte_error_rate, 6),
+            "recovered_bytes": self.recovered_bytes,
+            "all_lost": self.all_lost,
+            "confidence": round(self.confidence, 6),
             "framing_failed": self.framing_failed,
+            "failure": self.failure,
             "cycles": self.cycles,
             "gross_bits_per_second": round(self.gross_bits_per_second, 1),
             "goodput_bits_per_second": round(self.goodput_bits_per_second, 1),
@@ -117,6 +162,10 @@ class CapacityReport:
 def build_channel(config: CapacityConfig) -> SymbolChannel:
     """Construct the configured transport on a fresh seeded machine."""
     machine = Machine(seed=config.seed)
+    if config.interference is not None:
+        InterferenceModel(
+            get_profile(config.interference, seed=config.seed)
+        ).attach(machine)
     if config.channel == "stl":
         channel: SymbolChannel = StlPredictorChannel(machine, width=config.width)
     elif config.channel == "cache":
@@ -149,26 +198,38 @@ def measure_capacity(
 
     thread = channel.machine.core.thread(0)
     start = thread.cycles
-    received = channel.transfer(stream)
+    failure = None
+    try:
+        received = channel.transfer(stream)
+    except AttackError as exc:
+        # The transport itself died (e.g. the lane handshake could not
+        # validate under interference): a structured all-lost report.
+        received = []
+        failure = f"{type(exc).__name__}: {exc}"
     cycles = thread.cycles - start
 
     raw_errors = sum(a != b for a, b in zip(stream, received))
-    framing_failed = False
-    try:
-        decoded = coding.deframe_symbols(
-            received, config.width, config.preamble_len, config.repeat
-        )
-        recovered = coding.symbols_to_bytes(
-            decoded, config.width, config.payload_bytes
-        )
-        byte_errors = sum(a != b for a, b in zip(recovered, payload))
-    except (coding.FramingError, ValueError):
-        framing_failed = True
-        byte_errors = config.payload_bytes
+    framing_failed = failure is not None
+    byte_errors = config.payload_bytes
+    if failure is None:
+        try:
+            decoded = coding.deframe_symbols(
+                received,
+                config.width,
+                config.preamble_len,
+                config.repeat,
+                resync=config.resync,
+            )
+            recovered = coding.symbols_to_bytes(
+                decoded, config.width, config.payload_bytes
+            )
+            byte_errors = sum(a != b for a, b in zip(recovered, payload))
+        except (coding.FramingError, ValueError):
+            framing_failed = True
     registry().counter("attack.capacity.symbols").inc(len(stream))
     registry().counter("attack.capacity.raw_errors").inc(raw_errors)
     registry().counter("attack.capacity.byte_errors").inc(byte_errors)
-    return CapacityReport(
+    report = CapacityReport(
         config=config,
         symbols_on_wire=len(stream),
         raw_symbol_errors=raw_errors,
@@ -179,7 +240,11 @@ def measure_capacity(
         handshake_attempts=list(getattr(channel, "handshake_attempts", []) or
                                 getattr(getattr(channel, "inner", None),
                                         "handshake_attempts", [])),
+        failure=failure,
     )
+    if report.all_lost:
+        registry().counter("attack.degraded").inc()
+    return report
 
 
 def sweep(configs: list[CapacityConfig]) -> list[CapacityReport]:

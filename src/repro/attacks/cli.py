@@ -39,9 +39,10 @@ from repro.attacks.extraction import (
 from repro.cpu.machine import Machine
 from repro.errors import ConfigError, ReproError
 from repro.fuzz.harness import MITIGATIONS
+from repro.interference import PRESET_ORDER
 from repro.runtime import exitcodes
 from repro.runtime.atomic import atomic_write_json
-from repro.runtime.cliutil import build_parser
+from repro.runtime.cliutil import build_parser, require_range
 
 __all__ = ["DEFAULT_SECRET", "main"]
 
@@ -79,6 +80,14 @@ def main(argv: list[str] | None = None) -> int:
                       help="seeded payload length (default 8)")
     chan.add_argument("--noise", type=float, default=0.0, metavar="P",
                       help="per-symbol corruption probability (default 0)")
+    chan.add_argument("--interference", default=None, choices=PRESET_ORDER,
+                      metavar="PRESET",
+                      help="attach a system-interference preset to the "
+                           f"transport's machine ({', '.join(PRESET_ORDER)}; "
+                           "default: no model attached)")
+    chan.add_argument("--resync", action="store_true",
+                      help="hardened receiver: resynchronize after a failed "
+                           "frame-sync point instead of abandoning the stream")
     chan.add_argument("--seed", type=int, default=7, help="machine + payload seed")
     chan.add_argument("--json", action="store_true", help="machine-readable output")
     chan.add_argument("--out", default=None, metavar="FILE",
@@ -100,6 +109,14 @@ def main(argv: list[str] | None = None) -> int:
                       default=DEFAULT_COLLISION_BUDGET, metavar="N",
                       help="probe attempts per sliding scan before giving up "
                            f"(default {DEFAULT_COLLISION_BUDGET})")
+    leak.add_argument("--interference", default=None, choices=PRESET_ORDER,
+                      metavar="PRESET",
+                      help="attach a system-interference preset to every "
+                           f"campaign machine ({', '.join(PRESET_ORDER)})")
+    leak.add_argument("--no-hardening", action="store_true",
+                      help="pin the pre-hardening protocols (single-sample "
+                           "calibration, exact votes, no retries) — the "
+                           "robustness curve's comparison arm")
     leak.add_argument("--json", action="store_true", help="machine-readable output")
     leak.add_argument("--out", default=None, metavar="FILE",
                       help="also write the report as JSON (feeds 'verify')")
@@ -140,13 +157,21 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _channel(args) -> int:
+    # Up-front range validation: a bad value exits 2 (usage) before any
+    # machine is built, instead of clamping silently or tracing deep.
+    require_range("--width", args.width, 1, 16)
+    require_range("--repeat", args.repeat, 1)
+    require_range("--payload-bytes", args.payload_bytes, 1)
+    require_range("--noise", args.noise, 0.0, 1.0)
     config = CapacityConfig(
         channel=args.channel,
         width=args.width,
-        repeat=max(1, args.repeat),
-        payload_bytes=max(1, args.payload_bytes),
+        repeat=args.repeat,
+        payload_bytes=args.payload_bytes,
         noise=args.noise,
         seed=args.seed,
+        interference=args.interference,
+        resync=args.resync,
     )
     report = measure_capacity(config)
     data = report.to_dict()
@@ -178,6 +203,10 @@ def _channel(args) -> int:
 
 
 def _leak(args) -> int:
+    require_range("--redundancy", args.redundancy, 1)
+    require_range("--slide-pages", args.slide_pages, 1, 512)
+    if args.collision_budget is not None:
+        require_range("--collision-budget", args.collision_budget, 1)
     secret = args.secret.encode() if args.secret is not None else DEFAULT_SECRET
     mitigations = MITIGATIONS if args.mitigation == "all" else (args.mitigation,)
     reports = run_suite(
@@ -185,13 +214,17 @@ def _leak(args) -> int:
         seed=args.seed,
         mitigations=mitigations,
         slide_pages=args.slide_pages,
-        redundancy=max(1, args.redundancy),
+        redundancy=args.redundancy,
         collision_budget=args.collision_budget,
+        interference=args.interference,
+        hardened=not args.no_hardening,
     )
     data = {
         "seed": args.seed,
         "secret_bytes": len(secret),
-        "redundancy": max(1, args.redundancy),
+        "redundancy": args.redundancy,
+        "interference": args.interference,
+        "hardened": not args.no_hardening,
         "reports": [report.to_dict() for report in reports],
     }
     if args.out:
@@ -227,6 +260,8 @@ def _print_leak_report(report: ExtractionReport) -> None:
 
 
 def _aslr(args) -> int:
+    require_range("--window-bits", args.window_bits, 1, 24)
+    require_range("--region-pages", args.region_pages, 2, 4096)
     derandomizer = AslrDerandomizer(
         machine=Machine(seed=args.seed),
         window_bits=args.window_bits,

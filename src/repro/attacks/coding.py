@@ -22,6 +22,7 @@ harness composes it with the transports in :mod:`repro.attacks.channels`.
 from __future__ import annotations
 
 from repro.errors import AttackError
+from repro.telemetry.metrics import registry
 
 __all__ = [
     "FramingError",
@@ -158,6 +159,7 @@ def deframe_symbols(
     preamble_len: int = 8,
     repeat: int = 1,
     tolerance: int | None = None,
+    resync: bool = False,
 ) -> list[int]:
     """Locate the first frame in ``stream`` and return its payload.
 
@@ -169,12 +171,22 @@ def deframe_symbols(
     zeros from producing an off-by-one false sync.  The body is then
     repetition-decoded (``repeat``) and the length field parsed.  Raises
     :class:`FramingError` when no complete frame exists.
+
+    With ``resync=True`` (the hardened receiver), a sync point whose
+    frame fails to parse — a noise window that happened to look like a
+    preamble, or a corrupted length field announcing more symbols than
+    the stream holds — is abandoned and the scan *continues* at the next
+    candidate window instead of giving up, so one unlucky match no
+    longer loses a recoverable frame further down the stream.  The
+    first parse failure is re-raised only when no later sync point
+    yields a frame.
     """
     preamble = preamble_symbols(width, preamble_len)
     if tolerance is None:
         tolerance = preamble_len // 4
     length_symbols = len(bytes_to_symbols(b"\x00" * (_LENGTH_BITS // 8), width))
     ones = (1 << width) - 1
+    sync_failure: FramingError | None = None
     for start in range(len(stream) - len(preamble) + 1):
         window = stream[start:start + len(preamble)]
         if window[0] != ones:
@@ -193,9 +205,17 @@ def deframe_symbols(
         )
         payload = body[length_symbols:length_symbols + count]
         if len(payload) < count:
-            raise FramingError(
+            error = FramingError(
                 f"frame announces {count} payload symbols, "
                 f"stream holds {len(payload)}"
             )
+            if not resync:
+                raise error
+            if sync_failure is None:
+                sync_failure = error
+            registry().counter("attack.resync").inc()
+            continue
         return payload
+    if sync_failure is not None:
+        raise sync_failure
     raise FramingError("no preamble found in the received stream")

@@ -44,12 +44,22 @@ class SsbpCollisionFinder:
         attacker: AttackerStld,
         recharge: Callable[[], None],
         verify_runs: int = 2,
+        majority: bool | None = None,
     ) -> None:
         self.attacker = attacker
         #: Re-charges the target entry's C3 (e.g. by running the victim's
         #: aliasing path, or the attacker's own trained stld).
         self.recharge = recharge
         self.verify_runs = verify_runs
+        #: Majority-vote verification: confirm a screened hit by
+        #: ``verify_runs`` stalls out of ``2 * verify_runs - 1`` reads
+        #: instead of ``verify_runs`` *consecutive* stalls, so one
+        #: interference-garbled read cannot reject a true collision.
+        #: Auto-enabled when a non-quiet interference model is attached;
+        #: off by default so the quiet path is byte-identical.
+        self.majority = (
+            attacker.robust_active() if majority is None else majority
+        )
 
     def find(
         self,
@@ -100,10 +110,32 @@ class SsbpCollisionFinder:
         # on a non-aliasing run is C3-driven; accepting both stall
         # flavours also tolerates coarse timers that cannot separate
         # them (the browser case).
-        for _ in range(self.verify_runs):
-            observed = self.attacker.observe(program, aliasing=False)
-            if observed not in self._STALL_CLASSES:
+        if not self.majority:
+            for _ in range(self.verify_runs):
+                observed = self.attacker.observe(program, aliasing=False)
+                if observed not in self._STALL_CLASSES:
+                    return False
+            # Verification drained C3; restore it for the next consumer.
+            self.recharge()
+            return True
+        # Majority mode keeps the 1-read screen (the scan's cost per
+        # non-colliding offset is unchanged) but confirms a screened hit
+        # by vote, tolerating garbled reads in either direction.  C3
+        # holds enough charge (<= 32) to absorb the extra drains.
+        if self.attacker.observe(program, aliasing=False) not in self._STALL_CLASSES:
+            return False
+        needed = self.verify_runs
+        stalls = 1
+        reads = 1
+        budget = 2 * self.verify_runs - 1 + 1  # screen + confirm reads
+        while reads < budget and stalls < needed:
+            if budget - reads < needed - stalls:
                 return False
-        # Verification drained C3; restore it for the next consumer.
+            observed = self.attacker.observe(program, aliasing=False)
+            reads += 1
+            if observed in self._STALL_CLASSES:
+                stalls += 1
+        if stalls < needed:
+            return False
         self.recharge()
         return True

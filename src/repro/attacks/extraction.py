@@ -28,13 +28,14 @@ cycles-per-byte inflation the mitigation buys.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.attacks.spectre_stl import SpectreSTL
 from repro.cpu.isa import Program
 from repro.cpu.machine import Machine
 from repro.errors import AttackError, CollisionNotFound, ReproError
 from repro.fuzz.harness import MITIGATIONS
+from repro.interference import InterferenceModel, InterferenceProfile, get_profile
 from repro.mitigations.fences import fence_after_stores
 from repro.attacks.gadgets import spectre_stl_gadget
 from repro.telemetry.metrics import registry
@@ -62,6 +63,20 @@ class ExtractionReport:
     redundancy: int
     validation_attempts: int
     failure: str | None = None
+    #: Which interference preset was attached (None = unattached, the
+    #: historical quiet machine).
+    interference: str | None = None
+    #: Whether the hardened protocols were allowed to engage.
+    hardened: bool = True
+    #: Calibrated per-byte confidence, aligned with ``recovered``.
+    byte_confidence: list[float] = field(default_factory=list)
+    #: Failed leak rounds that were retried (hardened path only).
+    retries: int = 0
+    #: Mid-campaign recalibrations triggered by confidence collapse.
+    recalibrations: int = 0
+
+    #: Bytes at or above this confidence count as confidently recovered.
+    CONFIDENCE_FLOOR = 0.5
 
     @property
     def accuracy(self) -> float:
@@ -86,6 +101,29 @@ class ExtractionReport:
         good = round(self.accuracy * len(self.expected))
         return good / seconds
 
+    @property
+    def mean_confidence(self) -> float:
+        if not self.byte_confidence:
+            return 0.0
+        return sum(self.byte_confidence) / len(self.byte_confidence)
+
+    @property
+    def low_confidence_bytes(self) -> int:
+        """Bytes flagged below the confidence floor — the "2 low-
+        confidence" part of a "14/16 bytes, 2 low-confidence" report."""
+        return sum(1 for c in self.byte_confidence if c < self.CONFIDENCE_FLOOR)
+
+    @property
+    def confident_bytes(self) -> int:
+        """The partial-result size: bytes recovered with confidence."""
+        return len(self.byte_confidence) - self.low_confidence_bytes
+
+    @property
+    def degraded(self) -> bool:
+        """True when the campaign completed but had to flag bytes as
+        low-confidence — a partial result rather than a clean one."""
+        return self.failure is None and self.low_confidence_bytes > 0
+
     def to_dict(self) -> dict:
         return {
             "mitigation": self.mitigation,
@@ -100,11 +138,28 @@ class ExtractionReport:
             "redundancy": self.redundancy,
             "validation_attempts": self.validation_attempts,
             "failure": self.failure,
+            "interference": self.interference,
+            "hardened": self.hardened,
+            "byte_confidence": [round(c, 4) for c in self.byte_confidence],
+            "mean_confidence": round(self.mean_confidence, 4),
+            "low_confidence_bytes": self.low_confidence_bytes,
+            "confident_bytes": self.confident_bytes,
+            "degraded": self.degraded,
+            "retries": self.retries,
+            "recalibrations": self.recalibrations,
         }
 
 
 class SecretExtraction:
     """One seeded extraction campaign under one mitigation."""
+
+    #: Extra leak rounds the hardened path may spend per byte beyond
+    #: ``redundancy`` (bounded retry).
+    MAX_RETRIES = 4
+    #: Cap on the exponential backoff between retries (syscalls idled).
+    BACKOFF_CAP = 4
+    #: Consecutive low-confidence bytes that trigger a recalibration.
+    RECALIBRATE_AFTER = 2
 
     def __init__(
         self,
@@ -113,6 +168,8 @@ class SecretExtraction:
         slide_pages: int = 16,
         redundancy: int = 1,
         collision_budget: int | None = DEFAULT_COLLISION_BUDGET,
+        interference: InterferenceProfile | str | None = None,
+        hardened: bool = True,
     ) -> None:
         if mitigation not in MITIGATIONS:
             raise ValueError(
@@ -123,7 +180,20 @@ class SecretExtraction:
         self.mitigation = mitigation
         self.redundancy = redundancy
         self.collision_budget = collision_budget
+        self.hardened = hardened
         self.machine = Machine(seed=seed)
+        profile: InterferenceProfile | None
+        if isinstance(interference, str):
+            # Preset by name: re-seed it from the campaign seed so the
+            # disturbance schedule varies with the campaign like every
+            # other seeded component.
+            profile = get_profile(interference, seed=seed)
+        else:
+            profile = interference
+        self.interference_profile = profile
+        self.interference_model: InterferenceModel | None = None
+        if profile is not None:
+            self.interference_model = InterferenceModel(profile).attach(self.machine)
         gadget: Program | None = None
         if mitigation == "fence":
             gadget = Program(
@@ -131,32 +201,122 @@ class SecretExtraction:
                 name="stl-gadget-fenced",
             )
         self.attack = SpectreSTL(
-            machine=self.machine, slide_pages=slide_pages, gadget=gadget
+            machine=self.machine,
+            slide_pages=slide_pages,
+            gadget=gadget,
+            hardened=hardened,
         )
         if mitigation == "ssbd":
             # Machine-wide SSBD, enabled after the attacker calibrated
             # its timing classifier — the most attacker-favorable
             # ordering, and the attack still collapses.
             self.machine.core.set_ssbd(True)
+        self.retries = 0
+        self.recalibrations = 0
+        self._low_confidence_streak = 0
 
-    def _read_byte(self, offset: int, candidate) -> int:
-        """One secret byte, ``redundancy`` channel reads, plurality vote.
+    @property
+    def _robust(self) -> bool:
+        """The hardened per-byte loop engages only when there is noise
+        to harden against; on a quiet machine the historical protocol
+        runs unchanged (byte-identical to the pre-interference stack)."""
+        return self.hardened and self.attack.attacker.robust_active()
 
-        Ties and all-failed rounds resolve deterministically (smallest
-        byte value; 0 for no reads) — the decode bias is part of the
-        attack, not hidden randomness.
+    def _read_byte(self, offset: int, candidate) -> tuple[int, float]:
+        """One secret byte plus its confidence.
+
+        Quiet path: ``redundancy`` channel reads, plurality vote — ties
+        and all-failed rounds resolve deterministically (smallest byte
+        value; 0 for no reads), the decode bias is part of the attack,
+        not hidden randomness.  Confidence is the winner's share of the
+        successful reads.
+
+        Hardened path: confidence-weighted voting with bounded retries
+        and deterministic capped backoff (see :meth:`_backoff`); reads
+        continue until the winner is corroborated (two agreeing reads,
+        or one read at or above the confidence floor) or the retry
+        budget is spent.
         """
-        reads = []
-        for _ in range(self.redundancy):
-            byte = self.attack.leak_byte(offset, candidate)
-            if byte is None and self.redundancy == 1:
-                byte = self.attack.leak_byte(offset, candidate)  # single retry
-            if byte is not None:
-                reads.append(byte)
+        if not self._robust:
+            reads = []
+            for _ in range(self.redundancy):
+                byte = self.attack.leak_byte(offset, candidate)
+                if byte is None and self.redundancy == 1:
+                    byte = self.attack.leak_byte(offset, candidate)  # single retry
+                if byte is not None:
+                    reads.append(byte)
+            if not reads:
+                return 0, 0.0
+            best = max(Counter(reads).items(), key=lambda item: (item[1], -item[0]))
+            return best[0], best[1] / len(reads)
+        return self._read_byte_hardened(offset, candidate)
+
+    def _read_byte_hardened(self, offset: int, candidate) -> tuple[int, float]:
+        floor = ExtractionReport.CONFIDENCE_FLOOR
+        budget = self.redundancy + self.MAX_RETRIES
+        reads: list[tuple[int, float]] = []
+        attempts = 0
+        failures = 0
+        while attempts < budget:
+            attempts += 1
+            byte, confidence = self.attack.leak_byte_scored(offset, candidate)
+            if byte is None:
+                failures += 1
+                if attempts < budget:
+                    self.retries += 1
+                    registry().counter("attack.retry").inc()
+                    self._backoff(failures)
+                continue
+            reads.append((byte, confidence))
+            if len(reads) < self.redundancy:
+                continue
+            winner, total = self._tally(reads)
+            support = sum(1 for b, _ in reads if b == winner)
+            mean = total / support
+            if support >= max(self.redundancy, 2) or mean >= floor:
+                break
+            if attempts < budget:
+                self.retries += 1
+                registry().counter("attack.retry").inc()
         if not reads:
-            return 0
-        best = max(Counter(reads).items(), key=lambda item: (item[1], -item[0]))
-        return best[0]
+            return 0, 0.0
+        winner, total = self._tally(reads)
+        # Confidence is the winner's evidence averaged over *attempts*:
+        # failed and dissenting rounds dilute it.
+        return winner, min(1.0, total / attempts)
+
+    @staticmethod
+    def _tally(reads: list[tuple[int, float]]) -> tuple[int, float]:
+        """Confidence-weighted plurality; ties resolve to the smallest
+        byte value (the same deterministic bias as the quiet path)."""
+        totals: dict[int, float] = {}
+        for byte, confidence in reads:
+            totals[byte] = totals.get(byte, 0.0) + confidence
+        return min(totals.items(), key=lambda item: (-item[1], item[0]))
+
+    def _backoff(self, failures: int) -> None:
+        """Deterministic capped exponential backoff between retries.
+
+        Idling is modeled as kernel round-trips: each one burns cycles
+        *and* flushes PSFP, clearing whatever poisoned predictor state
+        made the read fail — which is why backing off helps at all.
+        """
+        rounds = min(2 ** (failures - 1), self.BACKOFF_CAP)
+        for _ in range(rounds):
+            self.machine.kernel.syscall(self.attack.process)
+
+    def _maybe_recalibrate(self, confidence: float) -> None:
+        """Drift response: a streak of low-confidence bytes means the
+        calibrated centroids/thresholds no longer match the clock."""
+        if confidence >= ExtractionReport.CONFIDENCE_FLOOR:
+            self._low_confidence_streak = 0
+            return
+        self._low_confidence_streak += 1
+        if self._low_confidence_streak >= self.RECALIBRATE_AFTER:
+            self.attack.recalibrate()
+            self.recalibrations += 1
+            registry().counter("attack.recalibrations").inc()
+            self._low_confidence_streak = 0
 
     def run(self, secret: bytes) -> ExtractionReport:
         """Plant ``secret`` in the victim and run the whole campaign."""
@@ -168,6 +328,7 @@ class SecretExtraction:
         start = thread.cycles
         failure = None
         recovered = b"\x00" * len(secret)
+        confidence = [0.0] * len(secret)
         try:
             candidate = self.attack.find_collision(
                 max_attempts=self.collision_budget
@@ -175,7 +336,11 @@ class SecretExtraction:
             out = bytearray()
             for index in range(len(secret)):
                 offset = self.attack.secret_va + index - self.attack.array1
-                out.append(self._read_byte(offset, candidate))
+                byte, byte_confidence = self._read_byte(offset, candidate)
+                out.append(byte)
+                confidence[index] = byte_confidence
+                if self._robust:
+                    self._maybe_recalibrate(byte_confidence)
             recovered = bytes(out)
         except (AttackError, CollisionNotFound, ReproError) as exc:
             failure = f"{type(exc).__name__}: {exc}"
@@ -189,6 +354,15 @@ class SecretExtraction:
             redundancy=self.redundancy,
             validation_attempts=self.attack.validation_attempts,
             failure=failure,
+            interference=(
+                self.interference_profile.name
+                if self.interference_profile is not None
+                else None
+            ),
+            hardened=self.hardened,
+            byte_confidence=confidence,
+            retries=self.retries,
+            recalibrations=self.recalibrations,
         )
         metrics = registry()
         metrics.counter("attack.extract.bytes").inc(len(secret))
@@ -197,6 +371,8 @@ class SecretExtraction:
         metrics.histogram("attack.extract.cycles_per_byte").observe(
             round(report.cycles_per_byte)
         )
+        if report.degraded:
+            metrics.counter("attack.degraded").inc()
         return report
 
 
@@ -207,6 +383,8 @@ def run_suite(
     slide_pages: int = 16,
     redundancy: int = 1,
     collision_budget: int | None = DEFAULT_COLLISION_BUDGET,
+    interference: InterferenceProfile | str | None = None,
+    hardened: bool = True,
 ) -> list[ExtractionReport]:
     """The same seeded campaign under each mitigation, fresh machine each."""
     return [
@@ -216,6 +394,8 @@ def run_suite(
             slide_pages=slide_pages,
             redundancy=redundancy,
             collision_budget=collision_budget,
+            interference=interference,
+            hardened=hardened,
         ).run(secret)
         for mitigation in mitigations
     ]

@@ -12,6 +12,7 @@ from repro.cpu.isa import Clflush, Halt, Load, MovImm, Program
 from repro.cpu.machine import Machine
 from repro.errors import AttackError
 from repro.osm.process import Process
+from repro.revng.timing import mad, median
 
 __all__ = ["FlushReloadChannel"]
 
@@ -27,6 +28,7 @@ class FlushReloadChannel:
         slots: int = 256,
         stride: int = 4096,
         thread_id: int = 0,
+        calibration_samples: int | None = None,
     ) -> None:
         self.machine = machine
         self.process = process
@@ -34,6 +36,24 @@ class FlushReloadChannel:
         self.slots = slots
         self.stride = stride
         self.thread_id = thread_id
+        interference = machine.interference
+        noisy = interference is not None and not interference.profile.is_quiet
+        #: Hit/miss sample pairs per calibration.  One pair reproduces
+        #: the original midpoint calibration exactly; a non-quiet
+        #: interference model auto-selects the multi-sample median/MAD
+        #: calibration, which a preempted probe cannot skew.
+        self.calibration_samples = (
+            calibration_samples
+            if calibration_samples is not None
+            else (7 if noisy else 1)
+        )
+        #: Calibrations performed (the first one included); extraction
+        #: reports recalibrations as ``calibrations - 1``.
+        self.calibrations = 0
+        #: Hit/miss population centers from the latest calibration —
+        #: the scale the per-read confidence score normalizes against.
+        self.hit_center = 0.0
+        self.miss_center = 0.0
         instructions = [MovImm("base", self.base_va)]
         instructions += [
             Clflush(base="base", offset=slot * self.stride)
@@ -54,7 +74,11 @@ class FlushReloadChannel:
         result = self.machine.run(
             self.process, program, regs, thread_id=self.thread_id
         )
-        return result.cycles
+        cycles = result.cycles
+        interference = self.machine.interference
+        if interference is not None:
+            cycles = interference.timer(cycles)
+        return cycles
 
     def _probe(self, slot: int) -> int:
         return self._run(
@@ -62,14 +86,38 @@ class FlushReloadChannel:
         )
 
     def _calibrate_threshold(self) -> int:
-        """Midpoint between a cached and a flushed reload of slot 0."""
-        self._probe(0)        # fill
-        hit = self._probe(0)  # cached
-        self.flush_all()
-        miss = self._probe(0)
-        if miss <= hit:
+        """Threshold between cached and flushed reloads of slot 0.
+
+        With one sample pair this is the exact historical calibration:
+        midpoint of a single hit and a single miss.  With more, hit and
+        miss populations are summarized by medians and checked for
+        median/MAD separability, so an interference burst landing on one
+        probe cannot poison the threshold for the whole run.
+        """
+        self.calibrations += 1
+        hits: list[int] = []
+        misses: list[int] = []
+        for _ in range(self.calibration_samples):
+            self._probe(0)              # fill
+            hits.append(self._probe(0))  # cached
+            self.flush_all()
+            misses.append(self._probe(0))
+        hit_center = median(hits)
+        miss_center = median(misses)
+        scale = max(1.0, mad(hits) + mad(misses))
+        if miss_center - hit_center <= (
+            0.0 if self.calibration_samples == 1 else scale
+        ):
             raise AttackError("flush+reload timing is not separable")
-        return (hit + miss) // 2
+        self.hit_center = hit_center
+        self.miss_center = miss_center
+        return int((hit_center + miss_center) // 2)
+
+    def recalibrate(self) -> int:
+        """Re-derive the hit/miss threshold against the current clock
+        (drift makes a stale threshold misclassify whole rounds)."""
+        self.threshold = self._calibrate_threshold()
+        return self.threshold
 
     # ------------------------------------------------------------------
     def flush_all(self) -> None:

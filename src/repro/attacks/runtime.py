@@ -43,10 +43,16 @@ class AttackerStld:
         slide_pages: int = 16,
         timer=None,
         template: Program | None = None,
+        robust: bool | None = None,
     ) -> None:
         self.machine = machine
         self.process = process
         self.thread_id = thread_id
+        #: Robustness override: None auto-selects (robust exactly when a
+        #: non-quiet interference model is attached); False pins the
+        #: historical protocol whatever the environment (the
+        #: pre-hardening comparison arm), True forces the robust one.
+        self._robust_override = robust
         #: Optional measurement transform (e.g. a coarse browser timer);
         #: receives true cycles, returns the attacker-visible reading.
         self.timer = timer
@@ -58,7 +64,16 @@ class AttackerStld:
         #: considered complete.  Jittery timers (the browser) misread an
         #: occasional stall as a bypass; demanding two in a row keeps a
         #: single misread from abandoning a drain with C3 still charged.
-        self.drain_confirmations = 1
+        #: Interference implies a jittery environment, so it bumps the
+        #: default the same way.
+        self.drain_confirmations = 2 if self.robust_active() else 1
+        #: Robust calibrations retry with fresh slide spots until the
+        #: classifier's separability check clears this bar (best attempt
+        #: wins if none does — graceful degradation, not an abort).
+        self.min_separability = 1.2
+        #: Separability of the most recent calibration (None before the
+        #: first robust fit; quiet fits do not compute it).
+        self.calibration_separability: float | None = None
         self.slide_base = machine.kernel.map_anonymous(
             process, pages=slide_pages + 1, perms=Perm.RX, kind="code"
         )
@@ -68,6 +83,7 @@ class AttackerStld:
         self.disjoint_store_va = self.load_va + 64
         self.classifier = CentroidClassifier()
         self._calibration_program = self.place_at(self.slide_base)
+        self._calibrations = 0
         self.calibrate()
 
     # ------------------------------------------------------------------
@@ -107,11 +123,28 @@ class AttackerStld:
         )
         return self._measure(result.cycles)
 
+    def _interference_active(self) -> bool:
+        model = self.machine.interference
+        return model is not None and not model.profile.is_quiet
+
+    def robust_active(self) -> bool:
+        """Whether the hardened measurement protocol is in effect."""
+        if self._robust_override is not None:
+            return self._robust_override
+        return self._interference_active()
+
     def _measure(self, cycles: int) -> int:
         noise = self.machine.core.model.timer_noise
         if noise:
             jitter = self.machine.core.rng.uniform(-noise, noise)
             cycles = max(0, round(cycles * (1.0 + jitter)))
+        interference = self.machine.interference
+        if interference is not None:
+            # Clock drift/jitter is a property of the environment; any
+            # attacker-side timer (secure-timer quantization, browser
+            # coarsening) reads the already-drifted clock, so the
+            # interference transform composes *first*.
+            cycles = interference.timer(cycles)
         if self.timer is not None:
             cycles = self.timer(cycles)
         return cycles
@@ -119,37 +152,88 @@ class AttackerStld:
     def observe(self, program: Program, aliasing: bool) -> TimingClass:
         return self.classifier.classify(self.run(program, aliasing))
 
+    def observe_with_confidence(
+        self, program: Program, aliasing: bool
+    ) -> tuple[TimingClass, float]:
+        """One observation plus its per-read classification confidence."""
+        return self.classifier.classify_with_confidence(
+            self.run(program, aliasing)
+        )
+
     # ------------------------------------------------------------------
     # Self-calibration (no privileged placement: any offsets will do,
     # because the state machine is the same whatever the entry)
     # ------------------------------------------------------------------
-    def calibrate(self, spots: int = 3) -> CalibrationResult:
+    def calibrate(
+        self, spots: int = 3, robust: bool | None = None
+    ) -> CalibrationResult:
+        """Self-calibrate the timing classifier.
+
+        ``robust=None`` auto-selects: the paper's mean-centroid fit on a
+        quiet machine (byte-identical to the pre-interference stack),
+        the median/MAD fit with a separability check whenever a
+        non-quiet interference model is attached.  The robust path
+        gathers twice the samples per attempt and retries on fresh
+        slide spots while the separability check fails, keeping the
+        best-separated calibration if no attempt clears the bar.
+        """
+        if robust is None:
+            robust = self.robust_active()
+        if not robust:
+            result = self._calibrate_once(
+                [self.slide_base + spot * 128 for spot in range(spots)]
+            )
+            self.classifier.fit(result)
+            self._calibrations += 1
+            return result
+        width = spots * 2
+        best: CalibrationResult | None = None
+        best_separability = -1.0
+        for attempt in range(3):
+            offsets = [
+                self.slide_base + (attempt * width + spot) * 128
+                for spot in range(width)
+            ]
+            result = self._calibrate_once(offsets)
+            self.classifier.fit(result, robust=True)
+            separability = self.classifier.separability()
+            if separability > best_separability:
+                best, best_separability = result, separability
+            if separability >= self.min_separability:
+                break
+        assert best is not None
+        if self.classifier.calibration is not best:
+            self.classifier.fit(best, robust=True)
+        self.calibration_separability = best_separability
+        self._calibrations += 1
+        return best
+
+    def _calibrate_once(self, offsets: list[int]) -> CalibrationResult:
         result = CalibrationResult()
         tokens = parse(CALIBRATION_SEQUENCE)
         psf = self.machine.core.model.psf_supported
         expected, _ = model_run(
             CounterState(), [token.aliasing for token in tokens], psf
         )
-        for spot in range(spots):
-            # Warm the data lines with two untimed non-aliasing runs.
-            program = self.place_at(self.slide_base + spot * 128)
+        for iva in offsets:
+            # Warm the data lines with an untimed non-aliasing run.
+            program = self.place_at(iva)
             self.run(program, aliasing=False)
             for exec_type, token in zip(expected, tokens):
                 cycles = self.run(program, token.aliasing)
                 result.add(TIMING_CLASS[exec_type], cycles)
         if psf and set(result.means) != set(TimingClass):
             raise ReproError("attacker calibration missed timing classes")
-        self.classifier.fit(result)
-        self._drain_calibration_state(spots)
+        self._drain_calibration_state(offsets)
         return result
 
-    def _drain_calibration_state(self, spots: int) -> None:
+    def _drain_calibration_state(self, offsets: list[int]) -> None:
         """The calibration spots end in the Block state, which only an
         eviction or PSFP flush clears; a syscall (PSFP flush) plus C3
         drains restore neutral ground — all unprivileged operations."""
         self.machine.kernel.syscall(self.process, self.thread_id)
-        for spot in range(spots):
-            program = self.place_at(self.slide_base + spot * 128)
+        for iva in offsets:
+            program = self.place_at(iva)
             for _ in range(36):
                 self.run(program, aliasing=False)
 

@@ -81,8 +81,14 @@ class SpectreSTL:
         machine: Machine | None = None,
         slide_pages: int = 16,
         gadget: Program | None = None,
+        hardened: bool = True,
     ) -> None:
         self.machine = machine or Machine(seed=1337)
+        #: ``hardened=True`` (default) lets every layer auto-select its
+        #: robust protocol when a non-quiet interference model is
+        #: attached; ``hardened=False`` pins the historical protocols —
+        #: the pre-hardening comparison arm of the robustness curve.
+        self.hardened = hardened
         kernel = self.machine.kernel
         self.process: Process = kernel.create_process("victim-with-attacker")
         # Victim state: array1 (byte pool the gadget indexes), array2
@@ -102,8 +108,18 @@ class SpectreSTL:
         self.victim = self.machine.load_program(
             self.process, gadget if gadget is not None else spectre_stl_gadget()
         )
-        self.attacker = AttackerStld(self.machine, self.process, slide_pages=slide_pages)
-        self.channel = FlushReloadChannel(self.machine, self.process, self.array2)
+        self.attacker = AttackerStld(
+            self.machine,
+            self.process,
+            slide_pages=slide_pages,
+            robust=None if hardened else False,
+        )
+        self.channel = FlushReloadChannel(
+            self.machine,
+            self.process,
+            self.array2,
+            calibration_samples=None if hardened else 1,
+        )
         self._flush_idx_program = self.machine.load_program(
             self.process,
             Program(
@@ -155,12 +171,29 @@ class SpectreSTL:
         is not directly observable, Fig 7).  ``max_attempts`` caps each
         sliding scan — the give-up budget a real attacker sets against a
         victim whose entry never charges (e.g. a fenced gadget)."""
-        finder = SsbpCollisionFinder(self.attacker, self._charge_victim_load)
+        finder = SsbpCollisionFinder(
+            self.attacker,
+            self._charge_victim_load,
+            majority=None if self.hardened else False,
+        )
+        # The robust arm may rescan a failed range: a garbled screen read
+        # skips the page's one true offset, but it is still inside the
+        # same scan window, so a second pass over it usually lands.
+        rescans_left = 2 if (self.hardened and self.attacker.robust_active()) else 0
         offset = 0
         for candidate_index in range(max_candidates):
-            try:
-                candidate = finder.find(start_offset=offset, max_attempts=max_attempts)
-            except CollisionNotFound:
+            while True:
+                try:
+                    candidate = finder.find(
+                        start_offset=offset, max_attempts=max_attempts
+                    )
+                    break
+                except CollisionNotFound:
+                    if rescans_left <= 0:
+                        candidate = None
+                        break
+                    rescans_left -= 1
+            if candidate is None:
                 break
             offset = candidate.iva - self.attacker.slide_base + 1
             self.validation_attempts = candidate_index + 1
@@ -179,22 +212,49 @@ class SpectreSTL:
     # Phase 2+3: per-byte mistrain and leak
     # ------------------------------------------------------------------
     def leak_byte(self, array1_offset: int, candidate: CollisionResult) -> int | None:
+        return self.leak_byte_scored(array1_offset, candidate)[0]
+
+    #: Confidence assigned to a decoy-only round: the byte is inferred
+    #: from the *absence* of other hits, weaker evidence than a direct
+    #: cache hit but far from a guess.
+    _DECOY_CONFIDENCE = 0.4
+
+    def leak_byte_scored(
+        self, array1_offset: int, candidate: CollisionResult
+    ) -> tuple[int | None, float]:
+        """One leak round plus a calibrated per-read confidence in [0, 1].
+
+        A clean single hit scores by how deep below the hit/miss
+        threshold its reload time sits (1.0 at the calibrated hit
+        center, 0.0 at the threshold); decoy-only rounds score a fixed
+        intermediate confidence; failed training or ambiguous multi-hit
+        rounds score 0.
+        """
         if not self.attacker.train_psf(candidate.program):
-            return None
+            return None, 0.0
         self.channel.flush_all()
         self.run_victim(x=array1_offset)
+        times = self.channel.reload_times()
         hits = [
-            slot
-            for slot, t in enumerate(self.channel.reload_times())
-            if t < self.channel.threshold
+            (slot, t)
+            for slot, t in enumerate(times)
+            if t < self.channel.threshold and slot != _DECOY_SLOT
         ]
-        hits = [h for h in hits if h != _DECOY_SLOT]
         if len(hits) == 1:
-            return hits[0]
+            slot, t = hits[0]
+            scale = max(1.0, self.channel.threshold - self.channel.hit_center)
+            return slot, max(0.0, min(1.0, (self.channel.threshold - t) / scale))
         if not hits:
             # Only the decoy fired: the leaked byte was the decoy value.
-            return _DECOY_SLOT
-        return None
+            return _DECOY_SLOT, self._DECOY_CONFIDENCE
+        return None, 0.0
+
+    def recalibrate(self) -> None:
+        """Refresh both timing calibrations against the drifted clock —
+        the hardened extraction loop invokes this when per-byte
+        confidence collapses mid-campaign."""
+        self.attacker.calibrate()
+        self.channel.recalibrate()
 
     def leak(self, secret: bytes) -> LeakReport:
         """Plant ``secret`` in victim memory and leak it byte by byte."""

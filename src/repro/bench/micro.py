@@ -20,6 +20,10 @@ One benchmark per layer that campaign throughput funnels through:
                             generate + dual-execute + compare, cases/s
 ``attack.channel``          covert-channel symbol transfer over the
                             cache transport (handshake excluded)
+``attack.interference``     the same transfer with the ``adversarial``
+                            interference preset attached — the model's
+                            hook/burst/timer overhead relative to
+                            ``attack.channel``
 ``campaign.experiments``    experiment-driver wall-clock (fig4 +
                             sec4-transient per iteration), experiments/s
 ========================== =============================================
@@ -223,6 +227,32 @@ def _attack_channel(iters: int) -> Callable[[], float]:
     return run
 
 
+def _attack_interference(iters: int) -> Callable[[], float]:
+    """Cost of the interference model itself: the same cache-transport
+    transfer as ``attack.channel`` but with the ``adversarial`` preset
+    attached, so every inner ``machine.run`` pays the before/after hooks,
+    co-runner bursts, preemptions and timer composition."""
+    from repro.attacks.capacity import CapacityConfig, build_channel
+    from repro.attacks.coding import bytes_to_symbols, frame_symbols
+
+    config = CapacityConfig(
+        channel="cache", width=2, payload_bytes=4, interference="adversarial"
+    )
+    channel = build_channel(config)  # machine + model + handshake untimed
+    symbols = frame_symbols(
+        bytes_to_symbols(b"\xa5\x5a\xc3\x3c", config.width), config.width
+    )
+
+    def run() -> float:
+        transferred = 0
+        transfer = channel.transfer
+        for _ in range(iters):
+            transferred += len(transfer(symbols))
+        return transferred
+
+    return run
+
+
 def _campaign_experiments(iters: int) -> Callable[[], float]:
     from repro.experiments.runner import run_experiment
 
@@ -255,6 +285,8 @@ BENCHMARKS: dict[str, BenchSpec] = {
                   "cases/s", _fuzz_dual, full_iters=18, repeats=3),
         BenchSpec("attack.channel", "covert-channel symbol transfer",
                   "symbols/s", _attack_channel, full_iters=12, repeats=3),
+        BenchSpec("attack.interference", "channel transfer under adversarial noise",
+                  "symbols/s", _attack_interference, full_iters=12, repeats=3),
         BenchSpec("campaign.experiments", "experiment drivers end-to-end",
                   "experiments/s", _campaign_experiments, full_iters=3, repeats=3),
     )

@@ -50,6 +50,10 @@ class Machine:
         self._pipelines = [
             Pipeline(self.core, thread, self.kernel) for thread in self.core.threads
         ]
+        #: Optional :class:`repro.interference.model.InterferenceModel`;
+        #: installed via ``InterferenceModel.attach(machine)``, consulted
+        #: around every :meth:`run`.
+        self.interference = None
 
     def attach_tracer(self, tracer) -> None:
         """Route every pipeline's trace events to ``tracer``.
@@ -99,9 +103,20 @@ class Machine:
         thread_id: int = 0,
         max_steps: int = 200_000,
     ) -> RunResult:
-        """Schedule ``process`` on a hardware thread and run ``program``."""
+        """Schedule ``process`` on a hardware thread and run ``program``.
+
+        When an interference model is attached it may inject co-runner
+        bursts or a preemption before the run and perturb PMC counts
+        after it (its own injected runs are reentrancy-guarded).
+        """
+        interference = self.interference
+        if interference is not None:
+            interference.before_run(process, thread_id)
         self.kernel.schedule(process, thread_id)
-        return self._pipelines[thread_id].run(process, program, regs, max_steps)
+        result = self._pipelines[thread_id].run(process, program, regs, max_steps)
+        if interference is not None:
+            interference.after_run(thread_id)
+        return result
 
     def run_smt(
         self,

@@ -41,6 +41,9 @@ class HardwareThread:
         self.current_pid: int | None = None
         #: Monotonic cycle counter read by RDPRU.
         self.cycles = 0
+        #: Involuntary context switches this thread has absorbed
+        #: (bumped by :meth:`repro.osm.kernel.Kernel.preempt`).
+        self.preemptions = 0
 
     def advance(self, cycles: int) -> None:
         if cycles < 0:

@@ -54,6 +54,7 @@ from repro.experiments import (
     fig7_collisions,
     fig11_fingerprint,
     fig12_ssbd_overhead,
+    robustness,
     sec3_selection,
     sec4_isolation,
     sec4_transient,
@@ -146,6 +147,12 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
     ),
     "aslr-derand": ExperimentSpec(
         attack_e2e.run_aslr, "Section V-D", "medium", 4096
+    ),
+    "robustness-channel": ExperimentSpec(
+        robustness.run_channel, "Section IV-D", "medium", 2601
+    ),
+    "robustness-extraction": ExperimentSpec(
+        robustness.run_extraction, "Section V-B", "slow", 2024
     ),
 }
 

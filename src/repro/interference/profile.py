@@ -1,0 +1,159 @@
+"""Interference profiles: every noise knob in one frozen dataclass.
+
+A profile is pure configuration — the :class:`~repro.interference.model.
+InterferenceModel` owns the RNG and the machine hooks.  Profiles are
+hashable and serializable so experiment cache keys and campaign
+artifacts can name them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+__all__ = ["InterferenceProfile", "PRESETS", "PRESET_ORDER", "get_profile"]
+
+
+@dataclass(frozen=True)
+class InterferenceProfile:
+    """One system-noise environment, fully specified.
+
+    Intensities are probabilities per victim/attacker program run (the
+    granularity of the simulator); rates of 0 disable the mechanism
+    entirely, so the ``quiet`` preset is a provable no-op.
+    """
+
+    name: str = "quiet"
+    #: RNG seed for the model (composes with nothing else; one model =
+    #: one deterministic disturbance schedule).
+    seed: int = 0
+    #: Probability that a co-runner burst executes on the SMT sibling
+    #: before a run (pollutes the shared cache hierarchy).
+    corunner_rate: float = 0.0
+    #: Memory operations per co-runner burst.
+    corunner_ops: int = 0
+    #: Burst composition: a key of
+    #: :data:`repro.interference.corunner.CORUNNER_MIXES`.
+    corunner_mix: str = "loads"
+    #: Probability that the run is preceded by an involuntary context
+    #: switch to an interloper process on the same hardware thread
+    #: (flushes PSFP, pollutes SSBP counters and displaces cache lines).
+    preemption_rate: float = 0.0
+    #: Memory operations the interloper performs while scheduled in.
+    preemption_ops: int = 0
+    #: DVFS-style drift: peak relative error of the slow timer ramp
+    #: (a triangular wave over ``drift_period`` timer reads).
+    timer_drift: float = 0.0
+    #: Timer reads per full drift ramp (ignored when drift is 0).
+    drift_period: int = 4096
+    #: Per-read relative timer jitter (uniform, on top of the model's
+    #: own ``timer_noise``; composes with ``mitigations.secure_timer``).
+    timer_jitter: float = 0.0
+    #: Probability that a PMC event count is perturbed by one after a
+    #: run (sampling skid).
+    pmc_noise: float = 0.0
+
+    def __post_init__(self) -> None:
+        for field_name in ("corunner_rate", "preemption_rate", "pmc_noise"):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"{field_name} must be a probability in [0, 1], got {value}"
+                )
+        for field_name in ("timer_drift", "timer_jitter"):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 0.5:
+                raise ValueError(
+                    f"{field_name} must be in [0, 0.5], got {value}"
+                )
+        if self.corunner_ops < 0 or self.preemption_ops < 0:
+            raise ValueError("operation counts cannot be negative")
+        if self.drift_period < 1:
+            raise ValueError(f"drift_period must be >= 1, got {self.drift_period}")
+
+    @property
+    def is_quiet(self) -> bool:
+        """True when every disturbance mechanism is disabled."""
+        return (
+            self.corunner_rate == 0.0
+            and self.preemption_rate == 0.0
+            and self.timer_drift == 0.0
+            and self.timer_jitter == 0.0
+            and self.pmc_noise == 0.0
+        )
+
+    def with_seed(self, seed: int) -> "InterferenceProfile":
+        return replace(self, seed=seed)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "corunner_rate": self.corunner_rate,
+            "corunner_ops": self.corunner_ops,
+            "corunner_mix": self.corunner_mix,
+            "preemption_rate": self.preemption_rate,
+            "preemption_ops": self.preemption_ops,
+            "timer_drift": self.timer_drift,
+            "drift_period": self.drift_period,
+            "timer_jitter": self.timer_jitter,
+            "pmc_noise": self.pmc_noise,
+        }
+
+
+#: The named presets, mildest to harshest.  ``quiet`` is the provable
+#: no-op baseline; ``desktop`` models a lightly loaded interactive
+#: machine; ``noisy-neighbor`` a busy co-tenant sharing the core;
+#: ``adversarial`` a co-tenant actively thrashing cache, predictors and
+#: scheduler while the clock ramps.
+PRESETS: dict[str, InterferenceProfile] = {
+    "quiet": InterferenceProfile(name="quiet"),
+    "desktop": InterferenceProfile(
+        name="desktop",
+        corunner_rate=0.05,
+        corunner_ops=8,
+        corunner_mix="loads",
+        preemption_rate=0.01,
+        preemption_ops=4,
+        timer_jitter=0.01,
+        pmc_noise=0.01,
+    ),
+    "noisy-neighbor": InterferenceProfile(
+        name="noisy-neighbor",
+        corunner_rate=0.25,
+        corunner_ops=24,
+        corunner_mix="mixed",
+        preemption_rate=0.03,
+        preemption_ops=12,
+        timer_drift=0.02,
+        timer_jitter=0.02,
+        pmc_noise=0.05,
+    ),
+    "adversarial": InterferenceProfile(
+        name="adversarial",
+        corunner_rate=0.6,
+        corunner_ops=48,
+        corunner_mix="stld",
+        preemption_rate=0.08,
+        preemption_ops=24,
+        timer_drift=0.04,
+        drift_period=2048,
+        timer_jitter=0.04,
+        pmc_noise=0.1,
+    ),
+}
+
+#: Preset names in degradation order (mildest first) — the order the
+#: robustness-curve experiments sweep and the monotonicity gate asserts.
+PRESET_ORDER = tuple(PRESETS)
+
+
+def get_profile(name: str, seed: int | None = None) -> InterferenceProfile:
+    """Look up a preset by name, optionally re-seeded."""
+    try:
+        profile = PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown interference preset {name!r} (know {', '.join(PRESETS)})"
+        ) from None
+    return profile if seed is None else profile.with_seed(seed)

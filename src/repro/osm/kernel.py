@@ -323,6 +323,21 @@ class Kernel:
         process.state = ProcessState.RUNNING
         self.stats["context_switch"] += 1
 
+    def preempt(self, process: Process, thread_id: int = 0) -> None:
+        """Involuntary switch to ``process`` (timer tick / interloper).
+
+        Flush semantics are identical to a voluntary switch — the
+        hardware cannot tell why the kernel switched — but the event is
+        accounted separately on both the kernel and the hardware thread,
+        because preemption *frequency* is what the interference model
+        sweeps and the robustness experiments report.
+        """
+        thread = self.core.thread(thread_id)
+        if thread.current_pid != process.pid:
+            thread.preemptions += 1
+            self.stats["preemption"] += 1
+        self.schedule(process, thread_id)
+
     def syscall(self, process: Process, thread_id: int = 0) -> None:
         """A system call (or sched_yield) round-trips through the kernel:
         the paper observes this flushes PSFP but not SSBP."""

@@ -28,11 +28,34 @@ __all__ = [
     "CalibrationResult",
     "CentroidClassifier",
     "TimingClassifier",
+    "mad",
+    "median",
 ]
 
 #: A sequence that visits every timing class from a fresh entry:
 #: 3H, G, 4A, 5C, D, C, D (reaching Block), 3E, 2A.
 CALIBRATION_SEQUENCE = "3n, a, 4a, 5a, n, a, n, 3n, 2a"
+
+
+def median(values: "list[float] | list[int]") -> float:
+    """Median without :mod:`statistics` (kept dependency-light)."""
+    if not values:
+        raise ReproError("median of an empty sample")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mad(values: "list[float] | list[int]", center: float | None = None) -> float:
+    """Median absolute deviation — the outlier-robust spread estimate
+    the hardened calibration thresholds on (a single preempted probe can
+    be thousands of cycles off; it moves a mean, not a median)."""
+    if not values:
+        return 0.0
+    center = median(values) if center is None else center
+    return median([abs(v - center) for v in values])
 
 
 @dataclass
@@ -59,6 +82,19 @@ class CalibrationResult:
         mean = sum(values) / len(values)
         return (sum((v - mean) ** 2 for v in values) / (len(values) - 1)) ** 0.5
 
+    @property
+    def medians(self) -> dict[TimingClass, float]:
+        """Outlier-robust per-class centers (the hardened fit path)."""
+        return {
+            cls: median(values)
+            for cls, values in self.samples.items()
+            if values
+        }
+
+    def mad(self, timing_class: TimingClass) -> float:
+        """Outlier-robust per-class spread."""
+        return mad(self.samples.get(timing_class, []))
+
 
 class CentroidClassifier:
     """Nearest-centroid timing classification (the shared mechanism).
@@ -70,16 +106,29 @@ class CentroidClassifier:
 
     def __init__(self) -> None:
         self.calibration: CalibrationResult | None = None
+        self.robust = False
         self._centroids: list[tuple[float, TimingClass]] = []
+        self._scales: dict[TimingClass, float] = {}
 
-    def fit(self, calibration: CalibrationResult) -> None:
+    def fit(self, calibration: CalibrationResult, robust: bool = False) -> None:
+        """Learn centroids from ``calibration``.
+
+        The default fit uses per-class means — the paper's method, and
+        exact on a quiet machine.  ``robust=True`` switches to per-class
+        medians with MAD scales, which a handful of preemption-inflated
+        samples cannot drag; the hardened attack paths use it whenever
+        an interference model is attached.
+        """
         self.calibration = calibration
+        self.robust = robust
+        centers = calibration.medians if robust else calibration.means
         # Sort by centroid only: a coarse timer can quantize two classes
         # onto the same reading (their order is then arbitrary).
         self._centroids = sorted(
-            ((mean, cls) for cls, mean in calibration.means.items()),
+            ((center, cls) for cls, center in centers.items()),
             key=lambda pair: pair[0],
         )
+        self._scales = {cls: calibration.mad(cls) for cls in centers}
 
     def classify(self, cycles: int) -> TimingClass:
         """Nearest-centroid classification of one measurement."""
@@ -91,6 +140,28 @@ class CentroidClassifier:
     def classify_all(self, measurements: list[int]) -> list[TimingClass]:
         return [self.classify(cycles) for cycles in measurements]
 
+    def classify_with_confidence(self, cycles: int) -> tuple[TimingClass, float]:
+        """Nearest-centroid classification plus a confidence in [0, 1].
+
+        Confidence is the relative margin between the nearest and the
+        runner-up centroid: 1.0 when the reading sits on a centroid,
+        0.0 when it is equidistant between two — the per-read signal the
+        hardened protocols aggregate into per-byte confidence.
+        """
+        if not self._centroids:
+            raise ReproError("classifier is not calibrated; call calibrate()")
+        ranked = sorted(
+            self._centroids, key=lambda pair: abs(pair[0] - cycles)
+        )
+        best = ranked[0]
+        if len(ranked) < 2:
+            return best[1], 1.0
+        d_best = abs(best[0] - cycles)
+        d_next = abs(ranked[1][0] - cycles)
+        if d_best + d_next == 0:
+            return best[1], 0.0
+        return best[1], (d_next - d_best) / (d_next + d_best)
+
     def margin(self) -> float:
         """Smallest gap between adjacent class centroids (robustness)."""
         if len(self._centroids) < 2:
@@ -99,6 +170,27 @@ class CentroidClassifier:
             self._centroids[i + 1][0] - self._centroids[i][0]
             for i in range(len(self._centroids) - 1)
         )
+
+    def separability(self) -> float:
+        """Worst adjacent-pair gap over combined noise scale.
+
+        For every adjacent centroid pair the gap is divided by the sum
+        of the two classes' MAD scales (floored at one cycle, the timer
+        granularity).  Values well above 1 mean the classes are cleanly
+        separated at this noise level; the robust calibration loop
+        retries while this check fails.
+        """
+        if len(self._centroids) < 2:
+            return 0.0
+        worst = float("inf")
+        for i in range(len(self._centroids) - 1):
+            low, low_cls = self._centroids[i]
+            high, high_cls = self._centroids[i + 1]
+            scale = max(
+                1.0, self._scales.get(low_cls, 0.0) + self._scales.get(high_cls, 0.0)
+            )
+            worst = min(worst, (high - low) / scale)
+        return worst
 
 
 class TimingClassifier(CentroidClassifier):

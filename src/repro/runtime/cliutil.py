@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import argparse
 
+from repro.errors import ConfigError
 from repro.runtime.exitcodes import (
     EXIT_FAILURES,
     EXIT_INTERRUPTED,
@@ -20,7 +21,12 @@ from repro.runtime.exitcodes import (
     describe,
 )
 
-__all__ = ["EXIT_CODE_EPILOG", "build_parser", "version_string"]
+__all__ = [
+    "EXIT_CODE_EPILOG",
+    "build_parser",
+    "require_range",
+    "version_string",
+]
 
 #: The epilog every repro CLI appends to ``--help``.
 EXIT_CODE_EPILOG = "\n".join(
@@ -36,6 +42,32 @@ def version_string(prog: str) -> str:
     from repro import __version__
 
     return f"{prog} (repro) {__version__}"
+
+
+def require_range(
+    name: str,
+    value: float | int,
+    minimum: float | int | None = None,
+    maximum: float | int | None = None,
+) -> float | int:
+    """Validate a numeric CLI argument up front; returns it unchanged.
+
+    Raises :class:`repro.errors.ConfigError` — which every repro CLI
+    maps to the usage exit code (2) — naming the flag and the accepted
+    range, so a bad ``--width 99`` fails before any machine is built
+    instead of surfacing as a deep traceback or a silently-clamped run.
+    """
+    if (minimum is not None and value < minimum) or (
+        maximum is not None and value > maximum
+    ):
+        if minimum is not None and maximum is not None:
+            span = f"in {minimum}..{maximum}"
+        elif minimum is not None:
+            span = f">= {minimum}"
+        else:
+            span = f"<= {maximum}"
+        raise ConfigError(f"{name} must be {span}, got {value!r}")
+    return value
 
 
 def build_parser(

@@ -110,3 +110,55 @@ class TestUsageErrors:
 
     def test_unreadable_verify_file(self, tmp_path):
         assert main(["verify", str(tmp_path / "nope.json")]) == exitcodes.EXIT_USAGE
+
+
+class TestRangeValidation:
+    """Out-of-range numeric flags exit 2 up front, naming the flag."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["channel", "--width", "0"],
+            ["channel", "--width", "17"],
+            ["channel", "--repeat", "0"],
+            ["channel", "--payload-bytes", "0"],
+            ["channel", "--noise", "-0.1"],
+            ["channel", "--noise", "1.1"],
+            ["leak", "--redundancy", "0"],
+            ["leak", "--slide-pages", "0"],
+            ["leak", "--collision-budget", "0"],
+            ["aslr", "--window-bits", "0"],
+            ["aslr", "--region-pages", "1"],
+        ],
+    )
+    def test_out_of_range_is_usage_error(self, argv, capsys):
+        assert main(argv) == exitcodes.EXIT_USAGE
+        err = capsys.readouterr().err
+        flag = argv[1]
+        assert flag in err and "must be" in err
+
+    def test_bad_interference_preset_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["channel", "--interference", "hurricane"])
+        assert exc.value.code == exitcodes.EXIT_USAGE
+
+
+class TestInterferenceFlags:
+    def test_channel_carries_the_preset_into_the_report(self, capsys):
+        assert main([
+            "channel", "--channel", "cache", "--width", "4",
+            "--interference", "desktop", "--resync", "--json",
+        ]) == exitcodes.EXIT_OK
+        data = json.loads(capsys.readouterr().out)
+        assert data["interference"] == "desktop"
+        assert data["resync"] is True
+
+    def test_channel_reports_are_rerun_identical(self, capsys):
+        argv = [
+            "channel", "--channel", "cache", "--width", "4",
+            "--interference", "noisy-neighbor", "--json",
+        ]
+        assert main(argv) == exitcodes.EXIT_OK
+        first = capsys.readouterr().out
+        assert main(argv) == exitcodes.EXIT_OK
+        assert capsys.readouterr().out == first

@@ -1,0 +1,142 @@
+"""The hardened attack stack: resync framing, guarded capacity reports,
+and extraction under the interference presets (docs/interference.md)."""
+
+import pytest
+
+from repro.attacks import coding
+from repro.attacks.capacity import CapacityConfig, CapacityReport, measure_capacity
+from repro.attacks.extraction import SecretExtraction
+from repro.telemetry.metrics import registry
+
+
+def _decoy_stream(width=2, payload_bytes=b"\xb4\x7e"):
+    """A stream whose first sync point announces an impossible frame,
+    followed by a genuine parseable frame."""
+    payload = coding.bytes_to_symbols(payload_bytes, width)
+    decoy = coding.preamble_symbols(width) + coding.bytes_to_symbols(
+        (1000).to_bytes(2, "little"), width
+    )
+    return decoy + coding.frame_symbols(payload, width), payload
+
+
+class TestFramingResync:
+    def test_default_receiver_dies_on_the_decoy(self):
+        stream, _ = _decoy_stream()
+        with pytest.raises(coding.FramingError, match="announces 1000"):
+            coding.deframe_symbols(stream, 2)
+
+    def test_resync_recovers_the_later_frame(self):
+        stream, payload = _decoy_stream()
+        assert coding.deframe_symbols(stream, 2, resync=True) == payload
+
+    def test_resync_counts_abandoned_sync_points(self):
+        stream, _ = _decoy_stream()
+        before = registry().counter("attack.resync").value
+        coding.deframe_symbols(stream, 2, resync=True)
+        assert registry().counter("attack.resync").value > before
+
+    def test_resync_reraises_when_no_frame_follows(self):
+        dead_end = coding.preamble_symbols(2) + coding.bytes_to_symbols(
+            (1000).to_bytes(2, "little"), 2
+        )
+        with pytest.raises(coding.FramingError, match="announces 1000"):
+            coding.deframe_symbols(dead_end, 2, resync=True)
+
+
+class TestCapacityGuards:
+    def _report(self, **overrides):
+        fields = dict(
+            config=CapacityConfig(payload_bytes=8),
+            symbols_on_wire=40,
+            raw_symbol_errors=0,
+            corrected_byte_errors=0,
+            framing_failed=False,
+            cycles=1000,
+            clock_ghz=3.7,
+        )
+        fields.update(overrides)
+        return CapacityReport(**fields)
+
+    def test_empty_wire_has_no_error_rate(self):
+        report = self._report(symbols_on_wire=0)
+        assert report.raw_symbol_error_rate == 0.0
+        assert report.confidence == 0.0
+
+    def test_zero_payload_has_no_byte_error_rate(self):
+        report = self._report(config=CapacityConfig(payload_bytes=0))
+        assert report.corrected_byte_error_rate == 0.0
+
+    def test_zero_cycles_yield_zero_throughput(self):
+        report = self._report(cycles=0)
+        assert report.gross_bits_per_second == 0.0
+        assert report.goodput_bits_per_second == 0.0
+
+    def test_transport_failure_is_all_lost_with_zero_confidence(self):
+        report = self._report(
+            failure="AttackError: lane handshakes converged",
+            corrected_byte_errors=8,
+        )
+        assert report.all_lost
+        assert report.recovered_bytes == 0
+        assert report.confidence == 0.0
+        data = report.to_dict()
+        assert data["all_lost"] is True
+        assert data["failure"].startswith("AttackError")
+
+
+class TestCapacityUnderInterference:
+    def test_interference_point_is_deterministic(self):
+        config = CapacityConfig(
+            channel="cache", width=4, repeat=3, payload_bytes=8,
+            noise=0.05, seed=41, interference="desktop", resync=True,
+        )
+        first = measure_capacity(config).to_dict()
+        second = measure_capacity(config).to_dict()
+        assert first == second
+        assert first["interference"] == "desktop"
+
+    def test_unknown_preset_rejected_before_any_machine_work(self):
+        with pytest.raises(ValueError, match="unknown interference preset"):
+            measure_capacity(CapacityConfig(interference="hurricane"))
+
+
+class TestHardenedExtraction:
+    @pytest.fixture(scope="class")
+    def noisy_report(self):
+        secret = bytes((index * 29 + 5) & 0xFF for index in range(8))
+        campaign = SecretExtraction(
+            seed=2024, interference="noisy-neighbor", hardened=True
+        )
+        return campaign.run(secret), secret
+
+    def test_recovers_under_noise(self, noisy_report):
+        report, secret = noisy_report
+        assert report.accuracy >= 0.8
+        assert len(report.byte_confidence) == len(secret)
+
+    def test_report_names_its_environment(self, noisy_report):
+        report, _ = noisy_report
+        assert report.interference == "noisy-neighbor"
+        assert report.hardened is True
+        data = report.to_dict()
+        assert data["interference"] == "noisy-neighbor"
+        for key in ("mean_confidence", "low_confidence_bytes",
+                    "degraded", "retries", "recalibrations"):
+            assert key in data
+
+    def test_confidence_bounded_and_degradation_consistent(self, noisy_report):
+        report, _ = noisy_report
+        assert all(0.0 <= c <= 1.0 for c in report.byte_confidence)
+        flagged = sum(
+            c < report.CONFIDENCE_FLOOR for c in report.byte_confidence
+        )
+        assert report.low_confidence_bytes == flagged
+        assert report.degraded == (report.failure is None and flagged > 0)
+
+    def test_quiet_campaign_reports_unattached(self):
+        secret = b"\x11\x22\x33\x44"
+        report = SecretExtraction(seed=2024).run(secret)
+        assert report.interference is None
+        assert report.accuracy == 1.0
+        assert report.retries == 0
+        assert report.recalibrations == 0

@@ -104,3 +104,29 @@ class TestTable4:
         result = table4_comparison.run(collision_trials=2)
         assert len(result.rows) == 3
         assert result.metrics["amd_mean_collision_attempts"] > 100
+
+
+class TestRobustnessChannel:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import robustness
+
+        return robustness.run_channel()
+
+    def test_one_row_per_preset(self, result):
+        from repro.interference import PRESET_ORDER
+
+        assert [row[0] for row in result.rows] == list(PRESET_ORDER)
+
+    def test_adversarial_costs_goodput(self, result):
+        # The interference-smoke gate's assertion, kept in-suite too.
+        assert (
+            result.metrics["adversarial_goodput_bps"]
+            < result.metrics["quiet_goodput_bps"]
+        )
+
+    def test_hardened_receiver_recovers_every_preset(self, result):
+        from repro.interference import PRESET_ORDER
+
+        for preset in PRESET_ORDER:
+            assert result.metrics[f"{preset}_byte_errors"] == 0

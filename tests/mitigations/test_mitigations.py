@@ -84,6 +84,28 @@ class TestSecureTimer:
         assert SecureTimer(resolution=256).defeats_margin(45)
         assert not SecureTimer(resolution=2, jitter=0).defeats_margin(45)
 
+    def test_defeats_margin_at_the_exact_margin(self):
+        """The contract is strict: a resolution (or jitter) exactly equal
+        to the gap still resolves it, so neither term defeats its own
+        value — only strictly larger ones do."""
+        assert not SecureTimer(resolution=45, jitter=45).defeats_margin(45)
+        assert SecureTimer(resolution=46, jitter=0).defeats_margin(45)
+        assert SecureTimer(resolution=1, jitter=46).defeats_margin(45)
+
+    def test_one_cycle_resolution_without_jitter_is_identity(self):
+        timer = SecureTimer(resolution=1, jitter=0)
+        assert [timer(c) for c in (0, 1, 45, 1000)] == [0, 1, 45, 1000]
+
+    def test_zero_cycles_quantize_to_zero(self):
+        # max(0, ...) clamps a negative jittered reading: a secure timer
+        # never reports time running backwards.
+        timer = SecureTimer(resolution=100, jitter=64, seed=2)
+        assert all(timer(0) == 0 for _ in range(50))
+
+    def test_readings_stay_on_the_resolution_grid(self):
+        timer = SecureTimer(resolution=128, jitter=32, seed=3)
+        assert all(timer(c) % 128 == 0 for c in range(0, 2000, 7))
+
     def test_defeats_attacker_calibration(self):
         """With the timer coarser than every timing gap, the attacker's
         own calibration cannot tell the classes apart."""
