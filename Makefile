@@ -17,7 +17,7 @@ RESULTS ?= results
 
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test experiments-quick experiments-check experiments-all regen-experiments-md fuzz-smoke chaos-smoke trace-smoke attack-smoke interference-smoke bench-smoke bench-baseline equivalence-check clean-cache
+.PHONY: test experiments-quick experiments-check experiments-all regen-experiments-md fuzz-smoke chaos-smoke trace-smoke attack-smoke interference-smoke scan-smoke bench-smoke bench-baseline equivalence-check clean-cache
 
 test:
 	$(PY) -m pytest -x -q
@@ -138,6 +138,24 @@ interference-smoke:
 	print(f'interference bites: quiet {q} b/s -> adversarial {a} b/s')"
 	rm -rf $(RESULTS)-interf
 	@echo "interference-smoke: robustness curve deterministic across reruns and job counts; adversarial preset degrades the channel"
+
+## Static-scanner gate (docs/static-analysis.md): the corpus replay set
+## plus a generated budget must scan byte-identically across a rerun and
+## --jobs 1 / --jobs $(JOBS) (findings JSONL cmp'd literally), and the
+## scanner-vs-oracle cross-validation must report zero soundness
+## violations (repro-scan crossval exits 1 on any dynamic leak the
+## scanner missed).
+scan-smoke:
+	rm -rf $(RESULTS)-scan
+	mkdir -p $(RESULTS)-scan
+	$(PY) -m repro.static.cli scan --no-corpus --budget 10 --seed 1 --jobs 1       --out $(RESULTS)-scan/serial.jsonl
+	$(PY) -m repro.static.cli scan --no-corpus --budget 10 --seed 1 --jobs 1       --out $(RESULTS)-scan/again.jsonl
+	$(PY) -m repro.static.cli scan --no-corpus --budget 10 --seed 1 --jobs $(JOBS) --out $(RESULTS)-scan/parallel.jsonl
+	cmp $(RESULTS)-scan/serial.jsonl $(RESULTS)-scan/again.jsonl
+	cmp $(RESULTS)-scan/serial.jsonl $(RESULTS)-scan/parallel.jsonl
+	$(PY) -m repro.static.cli crossval --no-corpus --budget 4 --seed 1 --jobs $(JOBS)
+	rm -rf $(RESULTS)-scan
+	@echo "scan-smoke: findings byte-identical across reruns and job counts; cross-validation sound"
 
 ## Performance regression gate (docs/performance.md): a quick benchmark
 ## pass compared against the committed baseline benchmarks/BENCH_seed.json.

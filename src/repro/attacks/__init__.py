@@ -24,7 +24,7 @@ from repro.attacks.covert_channel import ChannelReport, SsbpCovertChannel
 from repro.attacks.extraction import ExtractionReport, SecretExtraction, run_suite
 from repro.attacks.fingerprint import SsbpFingerprinter, collect_dataset
 from repro.attacks.flush_reload import FlushReloadChannel
-from repro.attacks.gadgets import (
+from repro.attacks.victim_gadgets import (
     CTL_REGS,
     STL_REGS,
     spectre_ctl_gadget,

@@ -37,7 +37,7 @@ from repro.errors import AttackError, CollisionNotFound, ReproError
 from repro.fuzz.harness import MITIGATIONS
 from repro.interference import InterferenceModel, InterferenceProfile, get_profile
 from repro.mitigations.fences import fence_after_stores
-from repro.attacks.gadgets import spectre_stl_gadget
+from repro.attacks.victim_gadgets import spectre_stl_gadget
 from repro.telemetry.metrics import registry
 
 __all__ = ["ExtractionReport", "SecretExtraction", "run_suite"]

@@ -1,32 +1,19 @@
-"""Victim gadgets (paper Listings 2 and 3).
+"""Backwards-compatible alias for :mod:`repro.attacks.victim_gadgets`.
 
-These are the in-victim code patterns the attacks exploit, expressed in
-the micro-ISA.  Both follow the paper exactly:
-
-* Spectre-STL gadget (Listing 2)::
-
-      array2[idx * 4096] = x;
-      temp = array2[array1[array2[0]] * 4096];
-
-  One store (address delayed through a cache-missing load of ``idx``)
-  and three loads: the first receives ``x`` through a mistrained PSF
-  forward, the second fetches the secret at ``array1 + x``, the third
-  encodes it into a cache line for Flush+Reload.
-
-* Spectre-CTL gadget (Listing 3)::
-
-      array2[idx] = 0;
-      temp = array2[array1[array2[idx2]]];
-
-  The first load bypasses the store (mistrained SSBP) and reads the
-  *stale* attacker-planted value at ``array2[idx2]``; the second fetches
-  the secret; the third races the still-pending store and trains the
-  SSBP entry — C3 charges only when ``secret == idx``, the covert channel.
+The module was renamed when the static analyzer arrived: this package's
+gadget *builders* (the paper's Listing 2/3 victim programs) and the
+scanner's gadget *detector* (:mod:`repro.static.gadgets`) are different
+things that must not share a dotted name.  ``from repro.attacks import
+gadgets`` keeps working through this shim; new code should import
+:mod:`repro.attacks.victim_gadgets` directly.
 """
 
-from __future__ import annotations
-
-from repro.cpu.isa import Alu, Halt, ImulImm, Load, Mov, Program, Store
+from repro.attacks.victim_gadgets import (  # noqa: F401
+    CTL_REGS,
+    STL_REGS,
+    spectre_ctl_gadget,
+    spectre_stl_gadget,
+)
 
 __all__ = [
     "spectre_stl_gadget",
@@ -34,63 +21,3 @@ __all__ = [
     "STL_REGS",
     "CTL_REGS",
 ]
-
-#: Register interface of the STL gadget: the attacker controls ``x`` and
-#: ``idx_ptr`` (a flushed memory slot holding idx); ``array1``/``array2``
-#: are the victim's buffers.
-STL_REGS = ("x", "idx_ptr", "array1", "array2")
-
-#: Register interface of the CTL gadget: ``idx_ptr`` (flushed slot
-#: holding idx), ``idx2_off`` and the victim's buffers.
-CTL_REGS = ("idx_ptr", "idx2_off", "array1", "array2")
-
-
-def spectre_stl_gadget() -> Program:
-    """The Listing 2 victim function.
-
-    The store's address depends on ``idx`` loaded from memory; flushing
-    that line delays address generation and opens the window.
-    """
-    return Program(
-        [
-            Load("idx", base="idx_ptr"),          # flushed -> slow AGEN
-            ImulImm("soff", "idx", 4096),
-            Alu("saddr", "array2", "soff", "add"),
-            Store(base="saddr", src="x", width=8),     # the delayed store
-            Load("t1", base="array2", offset=0),       # load 1: gets x via PSF
-            Alu("a1addr", "array1", "t1", "add"),
-            Load("t2", base="a1addr", width=1),        # load 2: the secret
-            ImulImm("enc", "t2", 4096),
-            Alu("eaddr", "array2", "enc", "add"),
-            Load("t3", base="eaddr"),                  # load 3: cache-encode
-            Halt(),
-        ],
-        name="victim-stl",
-    )
-
-
-def spectre_ctl_gadget() -> Program:
-    """The Listing 3 victim function.
-
-    The first load is pointer-wide (it carries the planted secret
-    address, as in the paper's WebAssembly variant where
-    ``spectreArgs[0]`` holds a full address); the second and third are
-    byte-wide index chasing.  The covert channel is the third load's
-    race against the pending store.
-    """
-    return Program(
-        [
-            Load("idx", base="idx_ptr"),               # flushed -> slow AGEN
-            Alu("saddr", "array2", "idx", "add"),
-            Mov("zero", "nil"),
-            Store(base="saddr", src="zero", width=1),  # the delayed store
-            Alu("laddr", "array2", "idx2_off", "add"),
-            Load("t1", base="laddr", width=8),         # load 1: stale pointer
-            Alu("a1addr", "array1", "t1", "add"),
-            Load("t2", base="a1addr", width=1),        # load 2: the secret
-            Alu("eaddr", "array2", "t2", "add"),
-            Load("t3", base="eaddr", width=1),         # load 3: covert update
-            Halt(),
-        ],
-        name="victim-ctl",
-    )

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.attacks.collision import CollisionResult, SsbpCollisionFinder
-from repro.attacks.gadgets import spectre_ctl_gadget
+from repro.attacks.victim_gadgets import spectre_ctl_gadget
 from repro.attacks.runtime import AttackerStld
 from repro.core.exec_types import TimingClass
 from repro.cpu.isa import Clflush, Halt, MovImm, Program

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 
 from repro.attacks.collision import CollisionResult, SsbpCollisionFinder
 from repro.attacks.flush_reload import FlushReloadChannel
-from repro.attacks.gadgets import spectre_stl_gadget
+from repro.attacks.victim_gadgets import spectre_stl_gadget
 from repro.attacks.runtime import AttackerStld
 from repro.cpu.isa import Clflush, Halt, MovImm, Program
 from repro.cpu.machine import Machine

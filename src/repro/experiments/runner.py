@@ -55,6 +55,7 @@ from repro.experiments import (
     fig11_fingerprint,
     fig12_ssbd_overhead,
     robustness,
+    scan_crossval,
     sec3_selection,
     sec4_isolation,
     sec4_transient,
@@ -153,6 +154,9 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
     ),
     "robustness-extraction": ExperimentSpec(
         robustness.run_extraction, "Section V-B", "slow", 2024
+    ),
+    "scan-crossval": ExperimentSpec(
+        scan_crossval.run, "Section VI (tooling)", "medium", 902
     ),
 }
 

@@ -44,6 +44,7 @@ __all__ = [
     "observe_program",
     "observation_diff",
     "leak_check",
+    "leak_check_instructions",
 ]
 
 CACHE_LINE = 64
@@ -197,8 +198,33 @@ def leak_check(
     mitigation: str = "none",
 ) -> OracleReport:
     """Run one oracle case: same program, two secrets, compare everything."""
+    return leak_check_instructions(
+        build_program(generator, seed, blocks),
+        seed=seed,
+        model=model,
+        mitigation=mitigation,
+        generator=generator,
+        blocks=blocks,
+    )
+
+
+def leak_check_instructions(
+    instructions: list,
+    *,
+    seed: int,
+    model: CpuModel | str | None = None,
+    mitigation: str = "none",
+    generator: str = "custom",
+    blocks: int = 0,
+) -> OracleReport:
+    """Two-fill oracle over an explicit instruction list.
+
+    The generator-based :func:`leak_check` is a thin wrapper over this;
+    the raw entry point exists so shrunk findings and hand-built
+    programs (static cross-validation, tests) can face the same oracle
+    as generated cases.
+    """
     resolved = resolve_model(model)
-    instructions = build_program(generator, seed, blocks)
     fill_a, fill_b = secret_fills(seed)
     regs_a, obs_a = observe_program(
         instructions, seed=seed, model=resolved, mitigation=mitigation, fill=fill_a

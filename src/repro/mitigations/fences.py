@@ -18,8 +18,9 @@ registers and memory as the original under both executors.
 from __future__ import annotations
 
 from repro.cpu.isa import Instruction, Mfence, Store
+from repro.errors import ConfigError
 
-__all__ = ["fence_after_stores", "count_fences"]
+__all__ = ["fence_after_stores", "fence_after", "count_fences"]
 
 
 def fence_after_stores(instructions: list[Instruction]) -> list[Instruction]:
@@ -34,6 +35,34 @@ def fence_after_stores(instructions: list[Instruction]) -> list[Instruction]:
         fenced.append(instruction)
         if isinstance(instruction, Store):
             fenced.append(Mfence())
+    return fenced
+
+
+def fence_after(
+    instructions: list[Instruction], indices: list[int] | tuple[int, ...]
+) -> list[Instruction]:
+    """Insert an ``Mfence`` after each of the given instruction indices.
+
+    The targeted variant of :func:`fence_after_stores`, used by the
+    static fence advisor (:mod:`repro.static.advisor`) to realize a
+    *minimal* placement: only the positions that actually sever a
+    gadget-carrying store→load bypass edge get a fence.  Indices refer
+    to the input list; the returned list is new and the input is not
+    modified.
+    """
+    positions = sorted(set(indices))
+    if positions and not 0 <= positions[0] <= positions[-1] < len(instructions):
+        raise ConfigError(
+            f"fence indices out of range for a {len(instructions)}-instruction "
+            f"program: {positions}"
+        )
+    fenced: list[Instruction] = []
+    cursor = 0
+    for index, instruction in enumerate(instructions):
+        fenced.append(instruction)
+        if cursor < len(positions) and positions[cursor] == index:
+            fenced.append(Mfence())
+            cursor += 1
     return fenced
 
 

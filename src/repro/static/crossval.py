@@ -1,0 +1,280 @@
+"""Static-vs-dynamic cross-validation: the scanner's soundness proof.
+
+The scanner's whole value rests on one claim: *a program it proves
+gadget-free cannot leak under the dynamic two-fill oracle*.  This module
+turns that claim into a tested, reproducible property.  It replays a
+case set — the persistent fuzz corpus (built-in regression entries plus
+any on-disk campaign additions), the shrunk reproducers from findings
+files, and optionally a deterministic batch of freshly generated
+programs — through **both** detectors per mitigation:
+
+* static: :func:`repro.static.gadgets.scan_program` (no execution);
+* dynamic: :func:`repro.fuzz.oracle.leak_check_instructions` (two full
+  pipeline runs with different secret fills).
+
+Each case lands in one cell of the 2×2 agreement matrix:
+
+===================  ==========================================
+``both-positive``    scanner flagged it, oracle observed a leak
+``static-only``      flagged but no dynamic leak — the *precision
+                     gap*, expected for an over-approximate scanner
+                     (the predictor preconditions simply did not
+                     fire this run)
+``dynamic-only``     **soundness violation** — a dynamic leak the
+                     scanner missed; always a bug, fails the run
+``both-negative``    clean by both
+===================  ==========================================
+
+Determinism: cases are a pure function of the inputs, workers are pure
+functions of their case dict, and rows are assembled in case order —
+so the matrix and the report JSON are byte-identical across reruns and
+``--jobs`` settings, the property ``make scan-smoke`` and the
+``scan-crossval`` experiment both gate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.cpu.isa import instructions_from_reprs
+from repro.errors import ArtifactError
+from repro.fuzz import corpus as corpus_mod
+from repro.fuzz.corpus import Corpus
+from repro.fuzz.cli import derive_case
+from repro.fuzz.findings import read_findings
+from repro.fuzz.gen import build_program
+from repro.fuzz.harness import MITIGATIONS
+from repro.fuzz.oracle import leak_check_instructions
+from repro.runtime.supervisor import DEFAULT_RETRIES, TaskFailure, run_supervised
+from repro.static.gadgets import scan_program
+from repro.telemetry.metrics import registry
+
+__all__ = [
+    "AGREEMENT_CELLS",
+    "CROSSVAL_SCHEMA",
+    "CrossValReport",
+    "agreement_matrix",
+    "build_cases",
+    "run_case",
+    "run_crossval",
+]
+
+CROSSVAL_SCHEMA = 1
+
+#: The four agreement-matrix cells, in presentation order.
+AGREEMENT_CELLS = ("both-positive", "static-only", "dynamic-only", "both-negative")
+
+#: Default mitigation sweep: every configuration the harness knows.
+DEFAULT_MITIGATIONS = MITIGATIONS
+
+
+def build_cases(
+    *,
+    corpus_dir: str | Path | None = None,
+    findings: Sequence[str | Path] = (),
+    budget: int = 0,
+    seed: int = 0,
+    mitigations: Sequence[str] = DEFAULT_MITIGATIONS,
+    model_name: str | None = None,
+) -> list[dict]:
+    """The full cross-validation case list, one dict per (program, mitigation).
+
+    Corpus entries come first (built-in regressions, then on-disk cases,
+    via :func:`repro.fuzz.corpus.replay_order`), then every shrunk
+    reproducer found in ``findings`` files (replayed under the finding's
+    own mitigation), then ``budget`` freshly derived generated programs
+    (same derivation as the fuzz campaign, so the two tools stress the
+    same distribution).
+    """
+    for mitigation in mitigations:
+        if mitigation not in MITIGATIONS:
+            raise ArtifactError(
+                f"unknown mitigation {mitigation!r}; known: {', '.join(MITIGATIONS)}"
+            )
+    common = {"cpu_model": model_name or ""}
+    cases: list[dict] = []
+
+    def add(source: str, generator: str, case_seed: int, blocks: int,
+            label: str, mitigation: str, instructions: list[str] | None) -> None:
+        cases.append(
+            {
+                "case": len(cases),
+                "source": source,
+                "generator": generator,
+                "seed": case_seed,
+                "blocks": blocks,
+                "label": label,
+                "mitigation": mitigation,
+                "instructions": instructions,
+                **common,
+            }
+        )
+
+    corp = Corpus(corpus_dir) if corpus_dir is not None else None
+    for entry in corpus_mod.replay_order(corp):
+        for mitigation in mitigations:
+            add("corpus", entry.generator, entry.seed, entry.blocks,
+                entry.label, mitigation, None)
+    for path in findings:
+        for finding in read_findings(path):
+            if finding.shrunk is None:
+                continue
+            add(
+                "shrunk", finding.generator, finding.seed, finding.blocks,
+                f"shrunk:{finding.label or finding.task}", finding.mitigation,
+                list(finding.shrunk["instructions"]),
+            )
+    for index in range(budget):
+        program_seed, blocks = derive_case(seed, index)
+        for generator in ("fuzz-v1", "oracle-v1"):
+            for mitigation in mitigations:
+                add("generated", generator, program_seed, blocks,
+                    f"gen-{index}", mitigation, None)
+    return cases
+
+
+def run_case(case: dict) -> dict:
+    """Worker: one program through both detectors; the agreement row.
+
+    Pure function of the case dict (fresh machines inside the oracle),
+    so it runs identically inline and in a pool process.
+    """
+    if case["instructions"] is not None:
+        instructions = instructions_from_reprs(case["instructions"])
+    else:
+        instructions = build_program(case["generator"], case["seed"], case["blocks"])
+    static = scan_program(
+        instructions,
+        mitigation=case["mitigation"],
+        name=f"{case['generator']}:{case['seed']}",
+    )
+    dynamic = leak_check_instructions(
+        instructions,
+        seed=case["seed"],
+        model=case["cpu_model"] or None,
+        mitigation=case["mitigation"],
+        generator=case["generator"],
+        blocks=case["blocks"],
+    )
+    static_positive = not static.clean
+    dynamic_positive = dynamic.finding_kind is not None
+    if static_positive and dynamic_positive:
+        cell = "both-positive"
+    elif static_positive:
+        cell = "static-only"
+    elif dynamic_positive:
+        cell = "dynamic-only"
+    else:
+        cell = "both-negative"
+    return {
+        "case": case["case"],
+        "source": case["source"],
+        "generator": case["generator"],
+        "seed": case["seed"],
+        "blocks": case["blocks"],
+        "label": case["label"],
+        "mitigation": case["mitigation"],
+        "static_positive": static_positive,
+        "static_gadgets": len(static.gadgets),
+        "static_kinds": static.kinds(),
+        "dynamic_positive": dynamic_positive,
+        "dynamic_kind": dynamic.finding_kind,
+        "cell": cell,
+    }
+
+
+def _validate_row(row: object) -> dict:
+    if not isinstance(row, dict) or row.get("cell") not in AGREEMENT_CELLS:
+        raise ArtifactError(f"malformed cross-validation row: {row!r}")
+    return row
+
+
+def agreement_matrix(rows: Sequence[dict]) -> dict[str, int]:
+    """Cell -> count, every cell present, in :data:`AGREEMENT_CELLS` order."""
+    matrix = {cell: 0 for cell in AGREEMENT_CELLS}
+    for row in rows:
+        matrix[row["cell"]] += 1
+    return matrix
+
+
+@dataclass
+class CrossValReport:
+    """The full cross-validation outcome, canonically serializable."""
+
+    rows: list[dict]
+    failures: list[TaskFailure] = field(default_factory=list)
+
+    def matrix(self) -> dict[str, int]:
+        return agreement_matrix(self.rows)
+
+    @property
+    def violations(self) -> list[dict]:
+        """Dynamic leaks the scanner missed — each one a soundness bug."""
+        return [row for row in self.rows if row["cell"] == "dynamic-only"]
+
+    @property
+    def sound(self) -> bool:
+        return not self.violations and not self.failures
+
+    def described_sources(self) -> str:
+        counts: dict[str, int] = {}
+        for row in self.rows:
+            counts[row["source"]] = counts.get(row["source"], 0) + 1
+        return ", ".join(f"{counts[s]} {s}" for s in sorted(counts))
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": CROSSVAL_SCHEMA,
+            "cases": len(self.rows),
+            "matrix": self.matrix(),
+            "sound": self.sound,
+            "violations": self.violations,
+            "rows": self.rows,
+        }
+
+
+def run_crossval(
+    *,
+    corpus_dir: str | Path | None = None,
+    findings: Sequence[str | Path] = (),
+    budget: int = 0,
+    seed: int = 0,
+    mitigations: Sequence[str] = DEFAULT_MITIGATIONS,
+    model_name: str | None = None,
+    jobs: int = 1,
+    timeout: float | None = None,
+    retries: int = DEFAULT_RETRIES,
+    progress: Callable[[str], None] | None = None,
+) -> CrossValReport:
+    """Run the full cross-validation; rows come back in stable case order."""
+    say = progress or (lambda line: None)
+    cases = build_cases(
+        corpus_dir=corpus_dir, findings=findings, budget=budget, seed=seed,
+        mitigations=mitigations, model_name=model_name,
+    )
+    results: dict[int, dict] = {}
+
+    def on_result(case_id: int, row: dict) -> None:
+        results[case_id] = row
+        say(
+            f"case {case_id:3d} {row['generator']:<10s} seed={row['seed']} "
+            f"[{row['mitigation']}]: {row['cell']}"
+        )
+
+    report = run_supervised(
+        [(case["case"], case) for case in cases],
+        run_case,
+        jobs=jobs,
+        timeout=timeout,
+        retries=retries,
+        validate=_validate_row,
+        on_result=on_result,
+        progress=say,
+    )
+    rows = [results[case_id] for case_id in sorted(results)]
+    out = CrossValReport(rows, failures=list(report.failures))
+    registry().counter("scan.crossval_cases").inc(len(rows))
+    registry().counter("scan.crossval_violations").inc(len(out.violations))
+    return out

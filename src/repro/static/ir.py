@@ -1,0 +1,162 @@
+"""Lifting the micro-ISA into a small dataflow IR.
+
+The scanner does not interpret :class:`~repro.cpu.isa.Instruction`
+objects directly; it lifts a program once into a list of
+:class:`IRNode` facts — what each instruction *defines*, *uses* and
+*touches* — and every later pass (window enumeration, taint
+propagation, gadget classification) works over those nodes by index.
+The lift accepts the same inputs the rest of the repo passes around: a
+plain instruction list, a :class:`~repro.cpu.isa.Program`, or a
+:class:`~repro.cpu.isa.DecodedProgram` via its ``insts``.
+
+The IR is purely syntactic — no execution, no machine — which is what
+makes a scan thousands of times cheaper than a pipeline run.  Branch
+targets are resolved through the program's labels; a ``Jz`` naming an
+unknown label keeps ``target=None`` and the window pass treats its
+transient span as reaching the end of the program (the conservative
+choice, mirroring the interpreter's lazy label lookup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.isa import (
+    Alu,
+    AluImm,
+    Clflush,
+    DecodedProgram,
+    Imul,
+    ImulImm,
+    Instruction,
+    Jz,
+    Label,
+    Load,
+    Mfence,
+    Mov,
+    MovImm,
+    Program,
+    Rdpru,
+    Store,
+)
+
+__all__ = ["KINDS", "IRNode", "IRProgram", "lift"]
+
+#: Node kinds, in no particular order.  ``alu`` covers every pure
+#: register computation (Mov/MovImm/Alu/AluImm/Imul/ImulImm); ``timer``
+#: is ``Rdpru`` (reads the clock, never the secret); ``nop`` covers
+#: ``Label``/``Pad``/unknown instructions.
+KINDS = ("alu", "load", "store", "flush", "fence", "branch", "timer", "halt", "nop")
+
+
+@dataclass(frozen=True)
+class IRNode:
+    """Dataflow facts for one instruction."""
+
+    index: int
+    op: str                       # instruction class name
+    kind: str                     # one of KINDS
+    defs: tuple[str, ...]         # registers written
+    uses: tuple[str, ...]         # registers read
+    base: str | None = None      # address base register (load/store/flush)
+    offset: int = 0              # constant address offset
+    width: int = 0               # access width in bytes
+    target: int | None = None    # branch target node index (Jz, resolved)
+    source: str = ""             # the instruction's dataclass repr
+    alu_op: str = ""             # ALU operator string (Alu/AluImm)
+    imm: int | None = None       # immediate operand (MovImm/AluImm/ImulImm)
+
+    def __str__(self) -> str:
+        return f"[{self.index:3d}] {self.source}"
+
+
+class IRProgram:
+    """A lifted program: the node list plus derived lookup tables."""
+
+    def __init__(self, nodes: list[IRNode]) -> None:
+        self.nodes = nodes
+        self.loads = tuple(n.index for n in nodes if n.kind == "load")
+        self.stores = tuple(n.index for n in nodes if n.kind == "store")
+        self.branches = tuple(n.index for n in nodes if n.kind == "branch")
+        self.fences = tuple(n.index for n in nodes if n.kind == "fence")
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+    def __getitem__(self, index: int) -> IRNode:
+        return self.nodes[index]
+
+    def reprs(self, indices: tuple[int, ...] | list[int]) -> tuple[str, ...]:
+        """Instruction reprs for a set of node indices (finding spans)."""
+        return tuple(self.nodes[i].source for i in sorted(indices))
+
+
+def _lift_one(index: int, instruction: Instruction, labels: dict[str, int]) -> IRNode:
+    cls = type(instruction)
+    text = repr(instruction)
+    if cls is MovImm:
+        return IRNode(index, "MovImm", "alu", (instruction.dst,), (),
+                      source=text, imm=instruction.value)
+    if cls is Mov:
+        return IRNode(index, "Mov", "alu", (instruction.dst,), (instruction.src,),
+                      source=text)
+    if cls is Alu:
+        return IRNode(index, "Alu", "alu", (instruction.dst,),
+                      (instruction.a, instruction.b), source=text,
+                      alu_op=instruction.op)
+    if cls is AluImm:
+        return IRNode(index, "AluImm", "alu", (instruction.dst,),
+                      (instruction.src,), source=text,
+                      alu_op=instruction.op, imm=instruction.imm)
+    if cls is Imul:
+        return IRNode(index, "Imul", "alu", (instruction.dst,),
+                      (instruction.a, instruction.b), source=text)
+    if cls is ImulImm:
+        return IRNode(index, "ImulImm", "alu", (instruction.dst,),
+                      (instruction.src,), source=text, imm=instruction.imm)
+    if cls is Load:
+        return IRNode(index, "Load", "load", (instruction.dst,),
+                      (instruction.base,), base=instruction.base,
+                      offset=instruction.offset, width=instruction.width,
+                      source=text)
+    if cls is Store:
+        return IRNode(index, "Store", "store", (),
+                      (instruction.base, instruction.src), base=instruction.base,
+                      offset=instruction.offset, width=instruction.width,
+                      source=text)
+    if cls is Clflush:
+        return IRNode(index, "Clflush", "flush", (), (instruction.base,),
+                      base=instruction.base, offset=instruction.offset,
+                      source=text)
+    if cls is Mfence:
+        return IRNode(index, "Mfence", "fence", (), (), source=text)
+    if cls is Rdpru:
+        return IRNode(index, "Rdpru", "timer", (instruction.dst,), (), source=text)
+    if cls is Jz:
+        return IRNode(index, "Jz", "branch", (), (instruction.cond,),
+                      target=labels.get(instruction.label), source=text)
+    if cls.__name__ == "Halt":
+        return IRNode(index, "Halt", "halt", (), (), source=text)
+    # Label, Pad, bare Instruction, anything unknown: no dataflow.
+    return IRNode(index, cls.__name__, "nop", (), (), source=text)
+
+
+def lift(program: Program | DecodedProgram | list[Instruction]) -> IRProgram:
+    """Lift a program (in any of its repo-wide forms) into an IR."""
+    if isinstance(program, Program):
+        instructions = list(program.instructions)
+    elif isinstance(program, DecodedProgram):
+        instructions = list(program.insts)
+    else:
+        instructions = list(program)
+    labels = {
+        instruction.name: index
+        for index, instruction in enumerate(instructions)
+        if isinstance(instruction, Label)
+    }
+    return IRProgram(
+        [_lift_one(i, ins, labels) for i, ins in enumerate(instructions)]
+    )

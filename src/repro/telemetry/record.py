@@ -79,7 +79,7 @@ def _run_stl_demo(seed: int, mitigation: str) -> None:
     resolves); under SSBD the predictor is pinned in Block and the same
     load stalls (stld-stall, type A/E) — the first trace divergence.
     """
-    from ..attacks.gadgets import spectre_stl_gadget
+    from ..attacks.victim_gadgets import spectre_stl_gadget
     from ..cpu.isa import Clflush, Halt, MovImm, Program
     from ..cpu.machine import Machine
 

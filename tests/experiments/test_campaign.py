@@ -76,8 +76,8 @@ class TestCatalogSync:
     def test_catalog_order_matches_registry(self):
         assert self.catalog_names() == list(EXPERIMENTS)
 
-    def test_catalog_covers_all_26_artifacts(self):
-        assert len(self.catalog_names()) == 26
+    def test_catalog_covers_all_27_artifacts(self):
+        assert len(self.catalog_names()) == 27
 
     def test_catalog_states_each_default_seed(self):
         text = self.CATALOG.read_text(encoding="utf-8")

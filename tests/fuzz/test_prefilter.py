@@ -1,0 +1,92 @@
+"""The --static-prefilter: skip dynamics only where the scanner proves it."""
+
+from repro.fuzz.cli import (
+    build_tasks,
+    main,
+    prefilter_tasks,
+    run_fuzz_campaign,
+)
+from repro.fuzz.corpus import replay_order
+
+
+def _task(**overrides):
+    task = {
+        "task": 0, "check": "oracle", "generator": "oracle-v1",
+        "seed": 1, "blocks": 2, "origin": "generated", "label": "g",
+        "mitigations": ["ssbd"], "cpu_model": "", "inject": "",
+        "shrink": False, "metrics": False,
+    }
+    task.update(overrides)
+    return task
+
+
+class TestPrefilterTasks:
+    def test_clean_generated_oracle_task_is_skipped(self):
+        # oracle-v1 seed 1 blocks 2 scans clean under ssbd (and the skip
+        # requires clean under *every* task mitigation).
+        kept, scanned, skipped = prefilter_tasks([_task()])
+        assert (kept, scanned, skipped) == ([], 1, 1)
+
+    def test_flagged_task_is_kept(self):
+        # oracle-v1 seed 3 blocks 2 is flagged under "none": a skip
+        # requires a clean scan under *every* task mitigation.
+        task = _task(seed=3, mitigations=["none", "ssbd"])
+        kept, scanned, skipped = prefilter_tasks([task])
+        assert kept == [task] and scanned == 1 and skipped == 0
+
+    def test_corpus_and_differential_tasks_are_never_scanned(self):
+        corpus = _task(origin="corpus")
+        differential = _task(check="differential")
+        kept, scanned, skipped = prefilter_tasks([corpus, differential])
+        assert kept == [corpus, differential]
+        assert scanned == 0 and skipped == 0
+
+    def test_campaign_task_lists_filter_deterministically(self):
+        tasks = build_tasks(
+            budget=3, seed=1, mitigations=["ssbd"], model_name=None,
+            replay=replay_order(None),
+        )
+        once = prefilter_tasks(tasks)
+        twice = prefilter_tasks(tasks)
+        assert once == twice
+        kept, scanned, skipped = once
+        assert scanned == 3                  # one oracle task per budget index
+        assert skipped == 3                  # all ssbd-clean (covered loads)
+        assert all(
+            task["check"] == "differential" or task["origin"] == "corpus"
+            for task in kept
+        )
+
+
+class TestCampaignIntegration:
+    def test_prefilter_never_changes_the_findings(self, tmp_path):
+        options = dict(budget=4, seed=1, shrink=False)
+        plain = run_fuzz_campaign(
+            corpus_dir=tmp_path / "ca", **options
+        )
+        filtered = run_fuzz_campaign(
+            corpus_dir=tmp_path / "cb", static_prefilter=True, **options
+        )
+        assert list(plain) == list(filtered)
+        assert plain.prefilter_scanned == 0
+        assert filtered.prefilter_scanned == 4
+
+    def test_ssbd_campaign_skips_everything_and_stays_clean(self, tmp_path):
+        result = run_fuzz_campaign(
+            budget=3, seed=1, mitigations=["ssbd"], shrink=False,
+            corpus_dir=tmp_path / "c", static_prefilter=True,
+        )
+        assert result.prefilter_scanned == 3
+        assert result.prefilter_skipped == 3
+        assert list(result) == []
+
+    def test_cli_flag_reports_the_skip_counters(self, tmp_path, capsys):
+        code = main([
+            "--budget", "2", "--seed", "1", "--mitigation", "ssbd",
+            "--no-shrink", "--static-prefilter", "--no-corpus",
+            "--out", str(tmp_path / "f.jsonl"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "static prefilter: scanned 2" in out
+        assert "proven gadget-free" in out
