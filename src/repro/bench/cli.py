@@ -17,10 +17,11 @@ clean" slot the fuzz and trace CLIs use.
 from __future__ import annotations
 
 import sys
+from pathlib import Path
 
 from ..errors import ReproError
 from ..runtime import exitcodes
-from ..runtime.cliutil import build_parser
+from ..runtime.cliutil import apply_engine, build_parser
 from .artifact import (
     DEFAULT_THRESHOLD,
     compare_artifacts,
@@ -28,7 +29,7 @@ from .artifact import (
     make_artifact,
     write_artifact,
 )
-from .micro import BENCHMARKS, QUICK_SCALE, run_benchmarks
+from .micro import BENCHMARKS, QUICK_SCALE, profile_benchmark, run_benchmarks
 
 __all__ = ["main"]
 
@@ -57,6 +58,10 @@ def main(argv: list[str] | None = None) -> int:
                      help="label stored in the artifact (default: local)")
     run.add_argument("--out", default=None, metavar="PATH",
                      help="write a BENCH_<label>.json artifact here")
+    run.add_argument("--profile", action="store_true",
+                     help="also write a cProfile BENCH_<label>.<bench>.pstats "
+                          "per benchmark next to the artifact (one warmed "
+                          "repetition each; for attribution, not throughput)")
 
     cmp_ = sub.add_parser("compare", help="diff two benchmark artifacts")
     cmp_.add_argument("old", help="baseline BENCH_*.json")
@@ -69,6 +74,7 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("list", help="list the registered benchmarks")
 
     args = parser.parse_args(argv)
+    apply_engine(args)
     try:
         if args.command == "run":
             return _run(args)
@@ -99,6 +105,12 @@ def _run(args) -> int:
         payload = make_artifact(results, label=args.label, quick=args.quick)
         write_artifact(args.out, payload)
         print(f"wrote {args.out}")
+    if args.profile:
+        base = Path(args.out).parent if args.out is not None else Path(".")
+        for m in results:
+            path = base / f"BENCH_{args.label}.{m.name}.pstats"
+            profile_benchmark(m.name, quick=args.quick).dump_stats(path)
+            print(f"wrote {path}")
     return exitcodes.EXIT_OK
 
 

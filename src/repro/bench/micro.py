@@ -6,6 +6,11 @@ One benchmark per layer that campaign throughput funnels through:
 ``pipeline.steps``          raw interpreter throughput (retired
                             instructions/s) on a speculation-heavy
                             fuzz-v1 program, machine built once
+``pipeline.steps_compiled`` the same workload under the closure-
+                            compiled engine; the ratio to
+                            ``pipeline.steps`` is the compilation
+                            speedup (>=1.4x, gated by ``make
+                            perf-gate``)
 ``pipeline.snapshot_restore`` squash machinery: a program whose branches
                             mispredict on every run, so each run opens,
                             journals and rolls back transient windows
@@ -29,6 +34,11 @@ One benchmark per layer that campaign throughput funnels through:
                             ``attack.channel``
 ``campaign.experiments``    experiment-driver wall-clock (fig4 +
                             sec4-transient per iteration), experiments/s
+``supervisor.batch_dispatch`` supervised-pool dispatch throughput for
+                            homogeneous no-op tasks under adaptive
+                            batching (pool spawn included): the
+                            per-task supervision overhead campaigns pay
+                            on top of real work
 ========================== =============================================
 
 Every workload is seeded and side-effect-free outside its own machines,
@@ -48,7 +58,13 @@ from repro.cpu.isa import Alu, AluImm, Halt, ImulImm, Jz, Label, MovImm, Program
 from repro.cpu.machine import Machine
 from repro.errors import ConfigError
 
-__all__ = ["BenchSpec", "BENCHMARKS", "QUICK_SCALE", "run_benchmarks"]
+__all__ = [
+    "BenchSpec",
+    "BENCHMARKS",
+    "QUICK_SCALE",
+    "profile_benchmark",
+    "run_benchmarks",
+]
 
 #: Iteration scale-down applied by ``--quick`` (CI smoke mode).
 QUICK_SCALE = 6
@@ -75,11 +91,11 @@ class BenchSpec:
 # machine construction stays outside the timed region.
 # ----------------------------------------------------------------------
 
-def _fuzz_machine(seed: int, gen_seed: int, blocks: int):
+def _fuzz_machine(seed: int, gen_seed: int, blocks: int, engine: str | None = None):
     from repro.fuzz.gen import BUF_BYTES, BUF_PAGES, build_program
     from repro.fuzz.harness import DEFAULT_FILL
 
-    machine = Machine(seed=seed)
+    machine = Machine(seed=seed, engine=engine)
     process = machine.kernel.create_process("bench")
     buf = machine.kernel.map_anonymous(process, pages=BUF_PAGES)
     machine.kernel.write(process, buf, DEFAULT_FILL)
@@ -91,8 +107,8 @@ def _fuzz_machine(seed: int, gen_seed: int, blocks: int):
     return machine, process, program, buf, refill
 
 
-def _pipeline_steps(iters: int) -> Callable[[], float]:
-    machine, process, program, buf, refill = _fuzz_machine(7, 5, 12)
+def _steps_workload(iters: int, engine: str | None) -> Callable[[], float]:
+    machine, process, program, buf, refill = _fuzz_machine(7, 5, 12, engine)
     regs = {"buf": buf}
 
     def run() -> float:
@@ -105,6 +121,20 @@ def _pipeline_steps(iters: int) -> Callable[[], float]:
         return retired
 
     return run
+
+
+def _pipeline_steps(iters: int) -> Callable[[], float]:
+    return _steps_workload(iters, "interpreter")
+
+
+def _pipeline_steps_compiled(iters: int) -> Callable[[], float]:
+    """The exact ``pipeline.steps`` workload under the compiled engine.
+
+    The two benchmarks execute bit-identically (same retired count, same
+    events — see ``tests/cpu/test_engine_equivalence.py``), so their
+    throughput ratio is the closure-compilation speedup with everything
+    else held fixed."""
+    return _steps_workload(iters, "compiled")
 
 
 def _snapshot_program() -> Program:
@@ -143,6 +173,7 @@ def _pipeline_snapshot_restore(iters: int) -> Callable[[], float]:
 
 
 def _pipeline_decode_cold(iters: int) -> Callable[[], float]:
+    from repro.cpu.isa import clear_decode_cache
     from repro.fuzz.gen import BUF_PAGES, build_program
     from repro.fuzz.harness import DEFAULT_FILL
 
@@ -155,8 +186,12 @@ def _pipeline_decode_cold(iters: int) -> Callable[[], float]:
 
     def run() -> float:
         for _ in range(iters):
-            # A fresh Program object at the same address: every run pays
-            # layout + decode, none can reuse a prior run's cached form.
+            # A fresh Program object at the same address, with the shared
+            # content-keyed LRU dropped: every run pays layout + decode,
+            # none can reuse a prior run's cached form (instance or
+            # shared).  Without the clear this would measure the LRU hit
+            # path, not decode.
+            clear_decode_cache()
             fresh = Program(list(instructions), template.base_iva, "bench")
             machine.run(process, fresh, {"buf": buf})
         return iters
@@ -289,12 +324,48 @@ def _campaign_experiments(iters: int) -> Callable[[], float]:
     return run
 
 
+def _bench_pool_task(payload):
+    """Module-level no-op worker (must cross the process boundary)."""
+    return payload
+
+
+def _supervisor_batch_dispatch(iters: int) -> Callable[[], float]:
+    """Supervised dispatch throughput with warm workers and batching.
+
+    The tasks are no-ops, so the measurement isolates what the
+    supervisor itself costs per task — pool spawn, batched pipe
+    round-trips, deadline/crash bookkeeping — which is exactly the
+    overhead task batching exists to amortize.  Uses the same
+    ``jobs``/``timeout`` shape the fuzz campaign runs with.
+    """
+    from repro.runtime.supervisor import run_supervised
+
+    def run() -> float:
+        report = run_supervised(
+            [(k, k) for k in range(iters)],
+            _bench_pool_task,
+            jobs=2,
+            timeout=30.0,
+            batch="adaptive",
+        )
+        if len(report.results) != iters or report.failures:
+            raise ConfigError(
+                f"supervisor bench lost tasks: {len(report.results)}/{iters} "
+                f"completed, {len(report.failures)} failed"
+            )
+        return iters
+
+    return run
+
+
 #: The curated set, in display order.
 BENCHMARKS: dict[str, BenchSpec] = {
     spec.name: spec
     for spec in (
         BenchSpec("pipeline.steps", "pipeline interpreter throughput",
                   "steps/s", _pipeline_steps, full_iters=360),
+        BenchSpec("pipeline.steps_compiled", "closure-compiled engine throughput",
+                  "steps/s", _pipeline_steps_compiled, full_iters=360),
         BenchSpec("pipeline.snapshot_restore", "transient-window squash machinery",
                   "restores/s", _pipeline_snapshot_restore, full_iters=360),
         BenchSpec("pipeline.decode_cold", "first-run cost (fresh Program per run)",
@@ -313,8 +384,37 @@ BENCHMARKS: dict[str, BenchSpec] = {
                   "symbols/s", _attack_interference, full_iters=12, repeats=3),
         BenchSpec("campaign.experiments", "experiment drivers end-to-end",
                   "experiments/s", _campaign_experiments, full_iters=3, repeats=3),
+        BenchSpec("supervisor.batch_dispatch", "batched warm-worker dispatch",
+                  "tasks/s", _supervisor_batch_dispatch, full_iters=192,
+                  repeats=3),
     )
 }
+
+
+def profile_benchmark(name: str, *, quick: bool = False):
+    """One warmed, profiled repetition of a registered benchmark.
+
+    Returns the :class:`cProfile.Profile` with the stats collected; the
+    CLI dumps it to a ``.pstats`` file next to the benchmark artifact.
+    The workload is built and warmed exactly like a timed run, so the
+    profile reflects steady state (decode/compile caches hot), not
+    first-run setup.  Note that profiling overhead inflates call-heavy
+    paths, so use the output for attribution, never for throughput.
+    """
+    import cProfile
+
+    spec = BENCHMARKS.get(name)
+    if spec is None:
+        raise ConfigError(
+            f"unknown benchmark {name!r}; known: {', '.join(BENCHMARKS)}"
+        )
+    workload = spec.factory(spec.iters(quick))
+    workload()  # warm: same policy as timing.measure
+    profiler = cProfile.Profile()
+    profiler.enable()
+    workload()
+    profiler.disable()
+    return profiler
 
 
 def run_benchmarks(

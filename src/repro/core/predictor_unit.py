@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.core.config import CpuModel, default_model
 from repro.core.counters import CounterState
@@ -48,6 +49,32 @@ class AccessResult:
 
 
 _SSBD_BLOCK = Prediction(aliasing=True, psf_forward=False, sticky=False)
+
+#: Interned :class:`CounterState` values keyed by their counter tuple.
+#: ``state_for`` assembles one state per racing load; interning makes the
+#: repeat assembly a dict probe (and keeps the lru_cache keys below shared
+#: objects).  CounterState is frozen, so sharing is safe; the domain is the
+#: clamped counter product, the same bound the state-machine caches rely on.
+_STATES: dict[tuple[int, int, int, int, int], CounterState] = {}
+
+
+@lru_cache(maxsize=None)
+def _pair_outcome(before: CounterState, aliasing: bool) -> AccessResult:
+    """The SSBD-off outcome of one pair: pure in ``(before, aliasing)``.
+
+    Prediction, TABLE I transition and the resulting :class:`AccessResult`
+    depend only on the incoming counter state and the ground truth, so the
+    whole bundle is memoized; :meth:`PredictorUnit.access` applies the
+    table writes and bookkeeping around the cached value.
+    """
+    result = transition(before, aliasing)
+    return AccessResult(
+        exec_type=result.exec_type,
+        prediction=predict_state(before),
+        state_name=result.state_name,
+        before=before,
+        after=result.state,
+    )
 
 
 class PredictorUnit:
@@ -92,7 +119,11 @@ class PredictorUnit:
         else:
             c0 = c1 = c2 = 0
         c3, c4 = self.ssbp.counters(load_hash)
-        return CounterState(c0=c0, c1=c1, c2=c2, c3=c3, c4=c4)
+        key = (c0, c1, c2, c3, c4)
+        state = _STATES.get(key)
+        if state is None:
+            state = _STATES[key] = CounterState(c0=c0, c1=c1, c2=c2, c3=c3, c4=c4)
+        return state
 
     def predict(self, store_hash: int, load_hash: int) -> Prediction:
         """What the unit will do for the next pair at these IPAs."""
@@ -130,30 +161,23 @@ class PredictorUnit:
                 after=before,
             )
 
-        pred = predict_state(before)
-        result = transition(before, aliasing)
-        after = result.state
+        outcome = _pair_outcome(before, aliasing)
+        after = outcome.after
         # Entries are allocated only by a mispredicted bypass (type G);
         # other events update live entries but never claim a new slot.
-        allocate = result.exec_type is ExecType.G
+        allocate = outcome.exec_type is ExecType.G
         if self.model.psf_supported:
             self.psfp.update(
                 store_hash, load_hash, after.c0, after.c1, after.c2, allocate=allocate
             )
         self.ssbp.update(load_hash, after.c3, after.c4, allocate=allocate)
-        self.exec_type_counts[result.exec_type] += 1
+        self.exec_type_counts[outcome.exec_type] += 1
         if self.trace is not None:
             self._emit_transition(
-                store_hash, load_hash, aliasing, result.exec_type,
-                classify_state(before), result.state_name, before, after,
+                store_hash, load_hash, aliasing, outcome.exec_type,
+                classify_state(before), outcome.state_name, before, after,
             )
-        return AccessResult(
-            exec_type=result.exec_type,
-            prediction=pred,
-            state_name=result.state_name,
-            before=before,
-            after=after,
-        )
+        return outcome
 
     def _emit_transition(
         self,

@@ -71,10 +71,16 @@ class Psfp:
         return entry
 
     def counters(self, store_hash: int, load_hash: int) -> tuple[int, int, int]:
-        """Counter values for the pair; a miss reads as zeros."""
-        entry = self.lookup(store_hash, load_hash)
+        """Counter values for the pair; a miss reads as zeros.
+
+        Same semantics as :meth:`lookup` (including the recency refresh),
+        inlined because this sits on the per-racing-load hot path.
+        """
+        key = (store_hash, load_hash)
+        entry = self._table.get(key)
         if entry is None:
             return (0, 0, 0)
+        self._table.move_to_end(key)
         return (entry.c0, entry.c1, entry.c2)
 
     def update(

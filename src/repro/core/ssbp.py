@@ -22,6 +22,7 @@ at ``k = 32`` — the Fig 5 curve.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.core.hashfn import HASH_BITS
 from repro.errors import ConfigError
@@ -35,8 +36,13 @@ SSBP_WAYS = 2
 _SET_BITS = 3
 
 
+@lru_cache(maxsize=None)
 def set_index(load_hash: int, sets: int = SSBP_SETS) -> int:
-    """The selection function ``F2``: fold the 12-bit hash into a set index."""
+    """The selection function ``F2``: fold the 12-bit hash into a set index.
+
+    Pure over a 12-bit domain and evaluated on every SSBP access, so it is
+    memoized the same way :func:`repro.core.hashfn.ipa_hash` is.
+    """
     folded = 0
     value = load_hash & ((1 << HASH_BITS) - 1)
     while value:
@@ -91,11 +97,17 @@ class Ssbp:
         return None
 
     def counters(self, load_hash: int) -> tuple[int, int]:
-        """Counter values ``(C3, C4)`` for the hash; a miss reads as zeros."""
-        entry = self.lookup(load_hash)
-        if entry is None:
-            return (0, 0)
-        return (entry.c3, entry.c4)
+        """Counter values ``(C3, C4)`` for the hash; a miss reads as zeros.
+
+        Same semantics as :meth:`lookup` (including the recency refresh),
+        inlined because this sits on the per-racing-load hot path.
+        """
+        bucket = self._table[set_index(load_hash, self.sets)]
+        for position, entry in enumerate(bucket):
+            if entry.load_tag == load_hash:
+                bucket.append(bucket.pop(position))
+                return (entry.c3, entry.c4)
+        return (0, 0)
 
     def update(self, load_hash: int, c3: int, c4: int, allocate: bool = True) -> None:
         """Write counters back, allocating or freeing the entry as needed.

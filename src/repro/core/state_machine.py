@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterable, Iterator
 
 from repro.core.counters import C3_MAX, CounterState
@@ -81,6 +82,15 @@ class Transition:
     state_name: StateName
 
 
+# classify/predict/transition are pure functions of a *clamped* counter
+# state (every CounterState constructor saturates its fields), so their
+# combined domain is a few tens of thousands of points.  The pipeline
+# evaluates them for every racing load of every run of a campaign —
+# memoizing them is the same trade ipa_hash already makes, and the cached
+# Transition/Prediction values are frozen dataclasses, safe to share.
+
+
+@lru_cache(maxsize=None)
 def classify_state(state: CounterState) -> StateName:
     """Map a counter state to its TABLE I state name (total function)."""
     psf_qualified = (
@@ -97,6 +107,7 @@ def classify_state(state: CounterState) -> StateName:
     return StateName.INITIALIZE
 
 
+@lru_cache(maxsize=None)
 def predict(state: CounterState) -> Prediction:
     """Read-only prediction for the next pair (no counters change)."""
     name = classify_state(state)
@@ -116,6 +127,7 @@ def g_event_state(state: CounterState) -> CounterState:
     return CounterState(c0=4, c1=16, c2=2, c3=0 if c4 < 3 else 15, c4=c4)
 
 
+@lru_cache(maxsize=None)
 def transition(state: CounterState, aliasing: bool) -> Transition:
     """Execute one store-load pair: TABLE I, one row.
 

@@ -14,6 +14,7 @@ are named strings holding unsigned integers.
 from __future__ import annotations
 
 import zlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError, InvalidInstruction
@@ -61,6 +62,10 @@ __all__ = [
     "ALU_BAD",
     "instruction_from_repr",
     "instructions_from_reprs",
+    "DECODE_CACHE_SIZE",
+    "decode_cache_info",
+    "clear_decode_cache",
+    "set_decode_cache_size",
 ]
 
 
@@ -310,6 +315,59 @@ class DecodedProgram:
     n: int
 
 
+# ----------------------------------------------------------------------
+# Global content-keyed decode cache
+# ----------------------------------------------------------------------
+# Campaign workloads rebuild Program *objects* constantly — every fuzz
+# task, every corpus replay, every oracle fill constructs a fresh
+# Program around content the process has decoded before.  The instance
+# cache on Program (see :meth:`Program.decoded`) cannot help there, so
+# this bounded LRU shares decoded forms across instances by content
+# (instruction tuple + base IVA; frozen instruction dataclasses hash by
+# value).  The bound matters: a long campaign cycles thousands of
+# distinct generated programs through one warm worker, and an unbounded
+# map would pin every one of them forever.
+
+#: Default bound on the shared decode LRU (distinct program contents).
+DECODE_CACHE_SIZE = 512
+
+_decode_cache: "OrderedDict[tuple, DecodedProgram]" = OrderedDict()
+_decode_cache_size = DECODE_CACHE_SIZE
+_decode_stats = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def decode_cache_info() -> dict[str, int]:
+    """Current decode-cache occupancy and hit/miss/eviction counters."""
+    return {
+        "size": len(_decode_cache),
+        "max_size": _decode_cache_size,
+        **_decode_stats,
+    }
+
+
+def clear_decode_cache() -> None:
+    """Drop every shared decoded form and reset the counters.
+
+    Program instances keep their own references, so anything a live
+    Program already decoded stays valid — only cross-instance sharing
+    restarts cold.
+    """
+    _decode_cache.clear()
+    for name in _decode_stats:
+        _decode_stats[name] = 0
+
+
+def set_decode_cache_size(size: int) -> int:
+    """Rebound the LRU (evicting down if needed); returns the old size."""
+    global _decode_cache_size
+    previous = _decode_cache_size
+    _decode_cache_size = max(1, int(size))
+    while len(_decode_cache) > _decode_cache_size:
+        _decode_cache.popitem(last=False)
+        _decode_stats["evictions"] += 1
+    return previous
+
+
 def _decode_args(instruction: Instruction, labels: dict[str, int]) -> tuple:
     """Operand tuple for one instruction (layouts per opcode).
 
@@ -377,6 +435,11 @@ class Program:
     )
     _decoded_src: "tuple | None" = field(default=None, repr=False, compare=False)
     _decoded_base: "int | None" = field(default=None, repr=False, compare=False)
+    #: Instance cache for the closure-compiled form (owned by
+    #: :mod:`repro.cpu.compiler`): the compiled table plus the
+    #: ``(decoded identity, latency constants)`` key it was built for.
+    _compiled: "list | None" = field(default=None, repr=False, compare=False)
+    _compiled_key: "tuple | None" = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self._layout()
@@ -408,6 +471,13 @@ class Program:
         content check is an element-wise tuple comparison, which
         short-circuits on object identity, so a cache hit costs one
         O(n) pointer sweep rather than a full re-decode.
+
+        On an instance miss, the process-wide content-keyed LRU is
+        consulted before re-decoding, so a *fresh* Program around
+        already-seen content (the campaign pattern: every fuzz task
+        rebuilds its program) shares the existing decoded form instead
+        of paying decode again.  The LRU is bounded
+        (:data:`DECODE_CACHE_SIZE`); see :func:`decode_cache_info`.
         """
         src = tuple(self.instructions)
         if (
@@ -417,6 +487,19 @@ class Program:
         ):
             return self._decoded
         self._layout()  # re-derive IVAs/labels in case of in-place mutation
+        try:
+            shared = _decode_cache.get((src, self.base_iva))
+        except TypeError:
+            shared = None  # unhashable instruction subclass: skip sharing
+        else:
+            if shared is not None:
+                _decode_cache.move_to_end((src, self.base_iva))
+                _decode_stats["hits"] += 1
+                self._decoded = shared
+                self._decoded_src = src
+                self._decoded_base = self.base_iva
+                return shared
+            _decode_stats["misses"] += 1
         labels = self._labels
         ops = []
         args = []
@@ -435,6 +518,14 @@ class Program:
         )
         self._decoded_src = src
         self._decoded_base = self.base_iva
+        try:
+            _decode_cache[(src, self.base_iva)] = self._decoded
+        except TypeError:
+            pass  # unhashable content stays instance-cached only
+        else:
+            while len(_decode_cache) > _decode_cache_size:
+                _decode_cache.popitem(last=False)
+                _decode_stats["evictions"] += 1
         return self._decoded
 
     def iva(self, index: int) -> int:

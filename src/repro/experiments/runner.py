@@ -78,7 +78,7 @@ from repro.experiments.base import ExperimentResult
 from repro.experiments.cache import DEFAULT_CACHE_DIR, ResultCache, cache_key
 from repro.runtime import exitcodes
 from repro.runtime.chaos import CHAOS_ENV_VAR, ChaosPlan
-from repro.runtime.cliutil import build_parser
+from repro.runtime.cliutil import apply_engine, build_parser
 from repro.runtime.quarantine import quarantine
 from repro.runtime.supervisor import (
     DEFAULT_GRACE_S,
@@ -472,6 +472,7 @@ def run_campaign(
                 jobs=jobs,
                 timeout=timeout,
                 retries=retries,
+                batch=1,  # experiments are heavy and heterogeneous
                 chaos=chaos_plan,
                 validate=ExperimentResult.from_dict,
                 on_result=on_result,
@@ -594,6 +595,7 @@ def main(argv: list[str] | None = None) -> int:
              f"(default from ${CHAOS_ENV_VAR})",
     )
     args = parser.parse_args(argv)
+    apply_engine(args)
 
     if args.list:
         for name, spec in EXPERIMENTS.items():

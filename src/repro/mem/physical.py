@@ -57,6 +57,10 @@ class PhysicalMemory:
         """Read ``length`` bytes, possibly crossing frame boundaries."""
         if length < 0:
             raise ValueError("negative read length")
+        if 0 < length <= PAGE_SIZE - (paddr & (PAGE_SIZE - 1)):
+            # Common case: the access fits inside one frame.
+            frame, offset = self._frame(paddr)
+            return bytes(frame[offset : offset + length])
         out = bytearray()
         while length:
             frame, offset = self._frame(paddr)
@@ -68,6 +72,12 @@ class PhysicalMemory:
 
     def write(self, paddr: int, data: bytes) -> None:
         """Write bytes, possibly crossing frame boundaries."""
+        length = len(data)
+        if 0 < length <= PAGE_SIZE - (paddr & (PAGE_SIZE - 1)):
+            # Common case: the access fits inside one frame.
+            frame, offset = self._frame(paddr)
+            frame[offset : offset + length] = data
+            return
         view = memoryview(data)
         while view:
             frame, offset = self._frame(paddr)

@@ -269,6 +269,7 @@ def run_crossval(
         jobs=jobs,
         timeout=timeout,
         retries=retries,
+        batch="adaptive",  # homogeneous small cases: batch onto warm workers
         validate=_validate_row,
         on_result=on_result,
         progress=say,

@@ -59,6 +59,29 @@ class TestRun:
         assert main(["run", "no.such.bench"]) == exitcodes.EXIT_USAGE
         assert "no.such.bench" in capsys.readouterr().err
 
+    def test_profile_writes_pstats_next_to_artifact(self, tmp_path, capsys):
+        import pstats
+
+        out = tmp_path / "artifacts" / "BENCH_x.json"
+        out.parent.mkdir()
+        code = main(
+            ["run", "hashfn.ipa_hash", "--quick", "--label", "x",
+             "--out", str(out), "--profile"]
+        )
+        assert code == exitcodes.EXIT_OK
+        profile = out.parent / "BENCH_x.hashfn.ipa_hash.pstats"
+        assert profile.exists()
+        # The dump must load as real profiler stats with samples in it.
+        assert pstats.Stats(str(profile)).total_calls > 0
+        assert str(profile) in capsys.readouterr().out
+
+    def test_profile_without_out_lands_in_cwd(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(
+            ["run", "hashfn.ipa_hash", "--quick", "--label", "y", "--profile"]
+        ) == exitcodes.EXIT_OK
+        assert (tmp_path / "BENCH_y.hashfn.ipa_hash.pstats").exists()
+
 
 class TestCompare:
     def test_clean_compare_exits_zero(self, tmp_path, capsys):

@@ -1,0 +1,162 @@
+"""Bounds, eviction and invalidation of the two content-keyed LRUs.
+
+Campaign workloads rebuild ``Program`` objects constantly, so both the
+shared decode cache (:mod:`repro.cpu.isa`) and the compiled-closure
+cache (:mod:`repro.cpu.compiler`) are bounded LRUs keyed by program
+content.  These tests pin the contract that makes the bound safe:
+eviction never changes behaviour (an evicted entry is rebuilt, not
+lost), recency protects the working set, and in-place program edits
+invalidate rather than serve stale tables.
+"""
+
+import pytest
+
+from repro.core.config import LatencyModel
+from repro.cpu import compiler, isa
+from repro.cpu.isa import AluImm, Halt, MovImm, Program
+from repro.cpu.machine import Machine
+
+
+def make_program(value, name="cache-test"):
+    return Program(
+        [MovImm("a", value), AluImm("b", "a", 1, "add"), Halt()],
+        name=name,
+    )
+
+
+@pytest.fixture
+def small_decode_cache():
+    previous = isa.set_decode_cache_size(4)
+    isa.clear_decode_cache()
+    yield
+    isa.set_decode_cache_size(previous)
+    isa.clear_decode_cache()
+
+
+@pytest.fixture
+def small_compile_cache():
+    previous = compiler.set_compile_cache_size(4)
+    compiler.clear_compile_cache()
+    yield
+    compiler.set_compile_cache_size(previous)
+    compiler.clear_compile_cache()
+
+
+class TestDecodeCacheBounds:
+    def test_occupancy_never_exceeds_bound(self, small_decode_cache):
+        for value in range(10):
+            make_program(value).decoded()
+        info = isa.decode_cache_info()
+        assert info["size"] <= info["max_size"] == 4
+        assert info["evictions"] == 6
+
+    def test_fresh_instance_hits_shared_cache(self, small_decode_cache):
+        make_program(7).decoded()
+        before = isa.decode_cache_info()["hits"]
+        # A brand-new Program around the same content must share.
+        assert make_program(7).decoded() is make_program(7).decoded()
+        assert isa.decode_cache_info()["hits"] > before
+
+    def test_eviction_is_lru_ordered(self, small_decode_cache):
+        programs = [make_program(value) for value in range(4)]
+        for program in programs:
+            program.decoded()
+        # Touch the oldest content via a fresh instance, then overflow
+        # by one: the evictee must be value=1, not the refreshed value=0.
+        make_program(0).decoded()
+        make_program(99).decoded()
+        hits = isa.decode_cache_info()["hits"]
+        make_program(0).decoded()  # still cached
+        assert isa.decode_cache_info()["hits"] == hits + 1
+        make_program(1).decoded()  # evicted: decodes again
+        assert isa.decode_cache_info()["hits"] == hits + 1
+
+    def test_evicted_content_is_rebuilt_identically(self, small_decode_cache):
+        program = make_program(5)
+        first = program.decoded()
+        for value in range(10, 20):  # flush value=5 out of the LRU
+            make_program(value).decoded()
+        rebuilt = make_program(5).decoded()
+        assert rebuilt is not first
+        assert rebuilt.ops == first.ops
+        assert rebuilt.args == first.args
+        assert rebuilt.ivas == first.ivas
+
+    def test_clear_resets_counters_and_entries(self, small_decode_cache):
+        make_program(1).decoded()
+        isa.clear_decode_cache()
+        info = isa.decode_cache_info()
+        assert info["size"] == 0
+        assert info["hits"] == info["misses"] == info["evictions"] == 0
+
+    def test_shrinking_evicts_down(self, small_decode_cache):
+        for value in range(4):
+            make_program(value).decoded()
+        isa.set_decode_cache_size(2)
+        try:
+            assert isa.decode_cache_info()["size"] <= 2
+        finally:
+            isa.set_decode_cache_size(4)
+
+
+class TestCompileCacheBounds:
+    def test_occupancy_never_exceeds_bound(self, small_compile_cache):
+        lat = LatencyModel()
+        for value in range(10):
+            compiler.compile_program(make_program(value), lat)
+        info = compiler.compile_cache_info()
+        assert info["size"] <= info["max_size"] == 4
+        assert info["evictions"] >= 6
+
+    def test_fresh_instance_shares_closure_table(self, small_compile_cache):
+        lat = LatencyModel()
+        first = compiler.compile_program(make_program(3), lat)
+        second = compiler.compile_program(make_program(3), lat)
+        assert second is first
+
+    def test_instance_fast_path_hits(self, small_compile_cache):
+        lat = LatencyModel()
+        program = make_program(3)
+        first = compiler.compile_program(program, lat)
+        hits = compiler.compile_cache_info()["hits"]
+        assert compiler.compile_program(program, lat) is first
+        assert compiler.compile_cache_info()["hits"] == hits + 1
+
+    def test_latency_model_is_part_of_the_key(self, small_compile_cache):
+        program = make_program(3)
+        fast = compiler.compile_program(program, LatencyModel())
+        slow = compiler.compile_program(make_program(3), LatencyModel(imul=9))
+        assert slow is not fast
+        assert compiler.compile_cache_info()["size"] == 2
+
+    def test_inplace_edit_invalidates(self, small_compile_cache):
+        lat = LatencyModel()
+        program = make_program(3)
+        first = compiler.compile_program(program, lat)
+        program.instructions[0] = MovImm("a", 44)
+        second = compiler.compile_program(program, lat)
+        assert second is not first
+
+    def test_machine_run_sees_inplace_edit(self, small_compile_cache):
+        """End to end: the compiled engine must not execute stale code."""
+        machine = Machine(seed=1, engine="compiled")
+        process = machine.kernel.create_process("p")
+        program = machine.load_program(
+            process, Program([MovImm("a", 1), Halt()], name="edit")
+        )
+        assert machine.run(process, program).regs["a"] == 1
+        program.instructions[0] = MovImm("a", 2)
+        assert machine.run(process, program).regs["a"] == 2
+
+    def test_eviction_does_not_change_results(self, small_compile_cache):
+        machine = Machine(seed=1, engine="compiled")
+        process = machine.kernel.create_process("p")
+        programs = [
+            machine.load_program(process, make_program(value, name=f"p{value}"))
+            for value in range(8)
+        ]
+        first = [machine.run(process, p).regs["b"] for p in programs]
+        # Round 2 re-runs every program; half were evicted and recompile.
+        second = [machine.run(process, p).regs["b"] for p in programs]
+        assert first == second == [value + 1 for value in range(8)]
+        assert compiler.compile_cache_info()["evictions"] >= 4

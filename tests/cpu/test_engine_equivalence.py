@@ -1,0 +1,160 @@
+"""Bit-identity of the compiled closure engine against the interpreter.
+
+``Machine(engine="compiled")`` must be an *optimization*, never a
+behaviour change: registers (values and dict insertion order), memory,
+cycle counts, rollbacks, PMC attribution and the exact telemetry event
+sequence all have to match the reference interpreter on every program.
+These property tests drive both engines over campaign-generator fuzz
+programs under every mitigation mode and compare complete observable
+signatures.
+
+The compiled engine tiers its code generation by hotness
+(``FUSE_AFTER_RUNS``): cold programs run per-instruction closures,
+hot programs run fused superblock bodies.  Each tier — and the
+transition between them — is covered separately, since they execute
+different generated code.
+"""
+
+import random
+
+import pytest
+
+from repro.cpu import compiler
+from repro.cpu.compiler import FUSE_AFTER_RUNS
+from repro.cpu.isa import AluImm, Halt, MovImm, Program, Store
+from repro.cpu.machine import Machine
+from repro.fuzz.gen import BUF_PAGES, fuzz_program
+from repro.fuzz.harness import DEFAULT_FILL, MITIGATIONS, execute_program
+
+pytestmark = pytest.mark.usefixtures("fresh_compile_cache")
+
+
+@pytest.fixture
+def fresh_compile_cache():
+    """Isolate hotness counters: cached CompiledPrograms carry ``runs``."""
+    compiler.clear_compile_cache()
+    yield
+    compiler.clear_compile_cache()
+
+
+def signature(execution):
+    """Every observable of one run, in comparable form."""
+    result = execution.result
+    pmc = execution.machine.core.threads[0].pmc.counts
+    return (
+        execution.status,
+        list(execution.regs.items()),  # values AND insertion order
+        execution.memory,
+        None if result is None else (
+            result.cycles,
+            result.retired,
+            result.rollbacks,
+            [repr(event) for event in result.events],
+        ),
+        sorted((str(key), value) for key, value in pmc.items()),
+    )
+
+
+def assert_engines_agree(seed, mitigation):
+    instructions = fuzz_program(random.Random(seed), 12)
+    reference = signature(execute_program(
+        instructions, seed=seed, mitigation=mitigation, engine="interpreter"
+    ))
+    compiled = signature(execute_program(
+        instructions, seed=seed, mitigation=mitigation, engine="compiled"
+    ))
+    assert compiled == reference, f"divergence at seed={seed} {mitigation=}"
+
+
+@pytest.mark.parametrize("mitigation", MITIGATIONS)
+def test_cold_scalar_tier_forty_seeds(mitigation):
+    """Fresh programs run once each: the per-instruction closure tier."""
+    for seed in range(40):
+        assert_engines_agree(seed, mitigation)
+
+
+@pytest.mark.parametrize("mitigation", MITIGATIONS)
+def test_fused_tier_bit_identical(mitigation, monkeypatch):
+    """Force fused superblock codegen from the first run and re-check."""
+    monkeypatch.setattr(compiler, "FUSE_AFTER_RUNS", 0)
+    for seed in range(12):
+        assert_engines_agree(seed, mitigation)
+
+
+def dense_program():
+    """Straight-line ALU/store runs: guaranteed fusable superblocks."""
+    body = []
+    for i in range(6):
+        body.append(MovImm("a", i + 1))
+        body.append(AluImm("b", "a", i, "add"))
+        body.append(AluImm("c", "b", 3, "xor"))
+        body.append(Store(base="buf", offset=8 * i, src="c", width=8))
+    body.append(Halt())
+    return body
+
+
+def run_signature(machine, process, program, buf):
+    machine.kernel.write(process, buf, DEFAULT_FILL)
+    result = machine.run(process, program, {"buf": buf})
+    pmc = machine.core.threads[0].pmc.counts
+    return (
+        result.cycles,
+        result.retired,
+        result.rollbacks,
+        [repr(event) for event in result.events],
+        list(result.regs.items()),
+        sorted((str(key), value) for key, value in pmc.items()),
+        machine.kernel.read(process, buf, 64),
+    )
+
+
+def test_transition_to_fused_is_seamless():
+    """One warm machine per engine, re-running the same program through
+    the hotness threshold: runs 1..FUSE_AFTER_RUNS-1 execute scalar
+    closures, later runs execute fused bodies, and every single run must
+    match the interpreter bit for bit."""
+    setups = {}
+    for engine in ("interpreter", "compiled"):
+        machine = Machine(seed=3, engine=engine)
+        process = machine.kernel.create_process("t")
+        buf = machine.kernel.map_anonymous(process, pages=BUF_PAGES)
+        program = machine.load_program(
+            process, Program(dense_program(), name="dense")
+        )
+        setups[engine] = (machine, process, program, buf)
+    for run in range(FUSE_AFTER_RUNS + 4):
+        signatures = {
+            engine: run_signature(*setup) for engine, setup in setups.items()
+        }
+        assert signatures["compiled"] == signatures["interpreter"], \
+            f"divergence on run {run}"
+    # Prove the fused tier actually engaged, or the test was vacuous.
+    _, _, program, _ = setups["compiled"]
+    from repro.core.config import LatencyModel
+    compiled = compiler.compile_program(program, LatencyModel())
+    assert compiled.runs > FUSE_AFTER_RUNS
+    assert any(isinstance(block, tuple)
+               for block in compiled.blocks if block is not None)
+
+
+def test_fuzz_programs_rerun_through_threshold():
+    """The warm-worker pattern on fuzz shapes: same program, one machine
+    pair, enough repetitions to cross the hotness threshold mid-test."""
+    for seed in (5, 21):
+        setups = {}
+        for engine in ("interpreter", "compiled"):
+            machine = Machine(seed=seed, engine=engine)
+            process = machine.kernel.create_process("t")
+            buf = machine.kernel.map_anonymous(process, pages=BUF_PAGES)
+            program = machine.load_program(
+                process,
+                Program(fuzz_program(random.Random(seed), 10), name="fuzz"),
+            )
+            setups[engine] = (machine, process, program, buf)
+        for run in range(FUSE_AFTER_RUNS + 2):
+            signatures = {
+                engine: run_signature(*setup)
+                for engine, setup in setups.items()
+            }
+            assert signatures["compiled"] == signatures["interpreter"], \
+                f"divergence at seed={seed} run {run}"

@@ -15,7 +15,9 @@ import pytest
 from repro.errors import ConfigError
 from repro.runtime.chaos import CORRUPT_RESULT, ChaosPlan
 from repro.runtime.supervisor import (
+    MAX_BATCH,
     TaskFailure,
+    adaptive_batch,
     backoff_schedule,
     run_supervised,
 )
@@ -45,6 +47,15 @@ def _sleeper(payload):
 
 def _interrupting(payload):
     raise KeyboardInterrupt
+
+
+def _slow_once(payload):
+    """Sleeps past the deadline on its first attempt, then returns."""
+    marker = Path(payload["marker"])
+    if marker.name != "-" and not marker.exists():
+        marker.write_text("slept")
+        time.sleep(30.0)
+    return "done"
 
 
 class TestBackoffSchedule:
@@ -210,3 +221,75 @@ class TestChaosPlan:
         assert plan.wants_interrupt("x") is True
         assert plan.wants_interrupt("x") is False
         assert plan.wants_interrupt("y") is False
+
+
+class TestAdaptiveBatch:
+    def test_targets_four_batches_per_worker(self):
+        # ceil(total / (workers * 4)), so ~4 dispatch rounds per worker.
+        assert adaptive_batch(16, 4) == 1
+        assert adaptive_batch(17, 4) == 2
+        assert adaptive_batch(320, 4) == 20
+
+    def test_floor_is_one(self):
+        assert adaptive_batch(0, 4) == 1
+        assert adaptive_batch(1, 8) == 1
+
+    def test_cap_bounds_queue_head_blocking(self):
+        assert adaptive_batch(10_000, 1) == MAX_BATCH
+
+
+class TestBatching:
+    def test_invalid_batch_rejected(self):
+        for bad in (0, -3, "sometimes", 2.5):
+            with pytest.raises(ConfigError):
+                run_supervised([(0, 1)], _double, jobs=2, timeout=5.0,
+                               batch=bad)
+
+    def test_batched_results_match_unbatched(self):
+        tasks = [(i, i) for i in range(20)]
+        unbatched = run_supervised(tasks, _double, jobs=2, timeout=10.0)
+        for batch in (4, "adaptive", MAX_BATCH):
+            batched = run_supervised(tasks, _double, jobs=2, timeout=10.0,
+                                     batch=batch)
+            assert batched.results == unbatched.results
+            assert batched.failures == unbatched.failures == []
+
+    def test_single_worker_batch_covers_all_tasks(self):
+        tasks = [(i, i) for i in range(7)]
+        report = run_supervised(tasks, _double, jobs=1, timeout=10.0, batch=3)
+        assert report.results == {i: 2 * i for i in range(7)}
+
+    def test_crash_mid_batch_retries_whole_batch(self):
+        """A chaos crash kills the worker mid-batch; the undone tail of
+        the batch must be re-dispatched, not lost."""
+        plan = ChaosPlan.from_spec("crash@1")
+        try:
+            report = run_supervised(
+                [(i, 10 + i) for i in range(6)], _double, jobs=1, retries=2,
+                timeout=10.0, batch=6, chaos=plan,
+            )
+        finally:
+            plan.cleanup()
+        assert report.results == {i: 2 * (10 + i) for i in range(6)}
+        assert report.retried >= 1 and report.failures == []
+
+    def test_timeout_mid_batch_fails_head_and_abandons_rest(self):
+        payloads = [(0, {"sleep": 30.0}), (1, {"sleep": 30.0})]
+        report = run_supervised(payloads, _sleeper, jobs=1, retries=0,
+                                timeout=1.0, batch=2)
+        assert report.results == {}
+        failures = {failure.task: failure for failure in report.failures}
+        assert set(failures) == {0, 1}
+        assert failures[0].kind == failures[1].kind == "timeout"
+        assert "deadline" in failures[0].message
+        assert "batch abandoned" in failures[1].message
+
+    def test_abandoned_tasks_are_retried_to_success(self, tmp_path):
+        """Only the head task is slow: after its deadline kills the
+        batch, the abandoned tail must still complete on retry."""
+        marker = tmp_path / "slow-once"
+        payloads = [(0, {"marker": str(marker)}), (1, {"marker": "-"})]
+        report = run_supervised(payloads, _slow_once, jobs=1, retries=2,
+                                timeout=2.0, batch=2)
+        assert report.results == {0: "done", 1: "done"}
+        assert report.retried >= 1
